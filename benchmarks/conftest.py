@@ -1,0 +1,43 @@
+"""Shared machinery for the figure benchmarks.
+
+Every benchmark regenerates one figure of the paper at the benchmark scale
+(``REPRO_BENCH_SCALE`` environment variable, default ``tiny``) and prints the
+resulting series so the run doubles as a reproduction report.  The figure
+drivers are macro-benchmarks, so each is executed once per run
+(``benchmark.pedantic`` with a single round) rather than micro-benchmarked.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.config import get_scale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """Workload scale preset used by every figure benchmark."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "tiny"))
+
+
+@pytest.fixture
+def run_figure(benchmark, bench_scale):
+    """Run a figure driver once under pytest-benchmark and print its series."""
+
+    def _run(driver, **kwargs):
+        result = benchmark.pedantic(
+            driver, args=(bench_scale,), kwargs=kwargs, rounds=1, iterations=1
+        )
+        print()
+        print(result.to_text())
+        return result
+
+    return _run

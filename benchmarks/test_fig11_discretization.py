@@ -1,0 +1,15 @@
+"""Benchmark regenerating Fig. 11 of the paper.
+
+Compact representation: planning time and load-estimation error vs degree r.
+
+Expected shape (paper): an order-of-magnitude planning speed-up with sub-1% estimation error.
+Run with ``pytest benchmarks/test_fig11_discretization.py --benchmark-only`` (set
+``REPRO_BENCH_SCALE=small`` or ``paper`` for larger workloads).
+"""
+
+from repro.experiments import figures
+
+
+def test_fig11_discretization(run_figure):
+    result = run_figure(figures.fig11_discretization)
+    assert len(result) > 0

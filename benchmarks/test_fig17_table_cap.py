@@ -1,0 +1,15 @@
+"""Benchmark regenerating Fig. 17 of the paper.
+
+Mixed's migration cost vs the routing-table cap n_a.
+
+Expected shape (paper): tight caps force MinTable-like behaviour; relaxing the cap drops migration sharply.
+Run with ``pytest benchmarks/test_fig17_table_cap.py --benchmark-only`` (set
+``REPRO_BENCH_SCALE=small`` or ``paper`` for larger workloads).
+"""
+
+from repro.experiments import figures
+
+
+def test_fig17_table_cap(run_figure):
+    result = run_figure(figures.fig17_table_cap)
+    assert len(result) > 0

@@ -1,0 +1,10 @@
+"""Pytest bootstrap: make ``src/`` importable even when the package has not
+been installed (useful in offline environments where ``pip install -e .`` is
+unavailable)."""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

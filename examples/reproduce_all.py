@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation and print the series.
+
+Usage:
+    python examples/reproduce_all.py [tiny|small|paper] [fig07 fig08 ...]
+
+Without arguments every figure driver runs at the "tiny" preset (a couple of
+minutes total).  Passing "small" or "paper" scales the workloads up; passing
+figure ids restricts the run to those figures.
+"""
+
+import sys
+import time
+
+from repro.experiments import figures
+from repro.experiments.config import SCALES
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    scale = "tiny"
+    requested = []
+    for arg in args:
+        if arg in SCALES:
+            scale = arg
+        elif arg in figures.ALL_FIGURES:
+            requested.append(arg)
+        else:
+            raise SystemExit(
+                f"unknown argument {arg!r}; scales: {sorted(SCALES)}, "
+                f"figures: {sorted(figures.ALL_FIGURES)}"
+            )
+    targets = requested or sorted(figures.ALL_FIGURES)
+
+    print(f"Reproducing {len(targets)} figure(s) at scale '{scale}'")
+    print("=" * 78)
+    for figure_id in targets:
+        driver = figures.ALL_FIGURES[figure_id]
+        start = time.perf_counter()
+        result = driver(scale)
+        elapsed = time.perf_counter() - start
+        print()
+        print(result.to_text())
+        print(f"[{figure_id} completed in {elapsed:.1f}s]")
+        print("=" * 78)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Common interface for workload partitioners.
+
+The engine talks to every strategy — the paper's mixed-routing controller and
+all baselines — through this small protocol:
+
+* :meth:`Partitioner.route` decides the destination task of one tuple;
+* :meth:`Partitioner.on_interval_end` hands the partitioner the statistics of
+  the finished interval and lets it rebalance; it returns a
+  :class:`~repro.core.planner.RebalanceResult` when keys (and their state) were
+  migrated, or ``None`` when nothing changed;
+* :meth:`Partitioner.supports_stateful` advertises whether the strategy keeps
+  the key-contiguity guarantee stateful operators need (PKG does not).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable, Optional
+
+from repro.core.planner import RebalanceResult
+from repro.core.statistics import IntervalStats
+
+__all__ = ["Partitioner", "RebalancingPartitioner"]
+
+Key = Hashable
+
+
+class Partitioner(ABC):
+    """Strategy deciding which downstream task processes each tuple."""
+
+    #: Display name used by experiments and reports.
+    name: str = "partitioner"
+
+    def __init__(self, num_tasks: int) -> None:
+        if num_tasks <= 0:
+            raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+        self.num_tasks = int(num_tasks)
+
+    @abstractmethod
+    def route(self, key: Key) -> int:
+        """Return the destination task index for a tuple with ``key``."""
+
+    def route_bulk(self, key: Key, count: float) -> Dict[int, float]:
+        """Route ``count`` tuples of ``key`` in one call (fluid simulation path).
+
+        Key-contiguous strategies send the whole batch to :meth:`route`;
+        key-splitting strategies (PKG, shuffle) override this to spread the
+        batch over several tasks.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return {}
+        return {self.route(key): count}
+
+    def on_interval_end(self, stats: IntervalStats) -> Optional[RebalanceResult]:
+        """Observe the finished interval; rebalance if the strategy does that.
+
+        The default implementation is a no-op (static strategies).
+        """
+        return None
+
+    def supports_stateful(self) -> bool:
+        """True when all tuples of a key are guaranteed to visit a single task."""
+        return True
+
+    def scale_out(self, new_num_tasks: int) -> None:
+        """Grow the downstream operator to ``new_num_tasks`` tasks.
+
+        Static strategies simply update their hash range; rebalancing
+        strategies additionally fold the change into their next planning round.
+        """
+        if new_num_tasks < self.num_tasks:
+            raise ValueError("scale_out cannot shrink the operator")
+        self.num_tasks = int(new_num_tasks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(num_tasks={self.num_tasks})"
+
+
+class RebalancingPartitioner(Partitioner):
+    """Base class for strategies that migrate keys between intervals.
+
+    Sub-classes implement :meth:`plan_rebalance`; the bookkeeping of applying
+    the produced assignment is shared here.
+    """
+
+    @abstractmethod
+    def plan_rebalance(self, stats: IntervalStats) -> Optional[RebalanceResult]:
+        """Produce (and install) a new assignment from the interval statistics."""
+
+    def on_interval_end(self, stats: IntervalStats) -> Optional[RebalanceResult]:
+        return self.plan_rebalance(stats)

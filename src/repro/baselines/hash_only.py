@@ -1,0 +1,65 @@
+"""Plain hash partitioning — Apache Storm's default fields grouping.
+
+Every tuple with key ``k`` goes to ``h(k)``; the mapping never changes, so no
+state is ever migrated, but the operator inherits whatever imbalance the key
+distribution produces (the "Storm" curves of Figs. 13–16 and the subject of the
+Fig. 7 skewness study).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.baselines.base import Partitioner
+from repro.core.hashing import ConsistentHashRing, UniversalHash
+
+__all__ = ["HashPartitioner"]
+
+Key = Hashable
+
+
+class HashPartitioner(Partitioner):
+    """Static key hashing (optionally by consistent hashing).
+
+    Parameters
+    ----------
+    num_tasks:
+        Number of downstream tasks.
+    seed:
+        Hash seed.
+    consistent:
+        Use a consistent-hash ring instead of modulo hashing.  The paper uses
+        consistent hashing as the base hash function; both are provided because
+        the skewness behaviour (Fig. 7) is essentially identical.
+    """
+
+    name = "hash"
+
+    def __init__(self, num_tasks: int, seed: int = 0, consistent: bool = False) -> None:
+        super().__init__(num_tasks)
+        self.seed = int(seed)
+        self.consistent = bool(consistent)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        if self.consistent:
+            self._hash = ConsistentHashRing(range(self.num_tasks), seed=self.seed)
+        else:
+            self._hash = UniversalHash(self.num_tasks, seed=self.seed)
+
+    def route(self, key: Key) -> int:
+        return self._hash(key)
+
+    def scale_out(self, new_num_tasks: int) -> None:
+        old = self.num_tasks
+        super().scale_out(new_num_tasks)
+        if self.consistent and new_num_tasks > old:
+            for task in range(old, new_num_tasks):
+                self._hash.add_task(task)
+        elif not self.consistent:
+            self._hash = UniversalHash(self.num_tasks, seed=self.seed)
+
+    @property
+    def hash_function(self):
+        """The underlying hash callable (shared with the mixed assignment)."""
+        return self._hash

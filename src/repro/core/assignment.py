@@ -1,0 +1,192 @@
+"""The mixed assignment function ``F`` (Equation 1 of the paper).
+
+``F(k)`` first consults the explicit routing table ``A``; if the key has no
+entry, the universal hash ``h(k)`` decides the destination::
+
+    F(k) = A[k]   if (k, d) ∈ A
+         = h(k)   otherwise
+
+The class also provides the bookkeeping the planner needs: the set of keys
+whose destination changes between two assignment functions (``Δ(F, F′)``), and
+construction helpers for a rebalanced copy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Set
+
+from repro.core.hashing import UniversalHash
+from repro.core.routing_table import RoutingTable
+
+__all__ = ["AssignmentFunction"]
+
+Key = Hashable
+HashFunction = Callable[[Key], int]
+
+
+class AssignmentFunction:
+    """Mixed explicit/implicit key-to-task mapping.
+
+    Parameters
+    ----------
+    hash_function:
+        The implicit router ``h``; any callable ``key -> task`` works
+        (:class:`~repro.core.hashing.UniversalHash`,
+        :class:`~repro.core.hashing.ConsistentHashRing`, …).
+    routing_table:
+        The explicit routing table ``A``.  A fresh empty (unbounded) table is
+        created when omitted.
+    num_tasks:
+        Number of downstream tasks ``N_D``.  Defaults to
+        ``hash_function.num_tasks`` when the hash exposes it.
+    """
+
+    def __init__(
+        self,
+        hash_function: HashFunction,
+        routing_table: Optional[RoutingTable] = None,
+        num_tasks: Optional[int] = None,
+    ) -> None:
+        self._hash = hash_function
+        self._table = routing_table if routing_table is not None else RoutingTable()
+        if num_tasks is None:
+            num_tasks = getattr(hash_function, "num_tasks", None)
+        if num_tasks is None:
+            raise ValueError(
+                "num_tasks must be given when the hash function does not expose it"
+            )
+        if num_tasks <= 0:
+            raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+        self._num_tasks = int(num_tasks)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def num_tasks(self) -> int:
+        """Number of downstream task instances ``N_D``."""
+        return self._num_tasks
+
+    @property
+    def routing_table(self) -> RoutingTable:
+        """The explicit routing table ``A`` (mutable; edit with care)."""
+        return self._table
+
+    @property
+    def hash_function(self) -> HashFunction:
+        """The implicit hash router ``h``."""
+        return self._hash
+
+    @property
+    def tasks(self) -> range:
+        """The downstream task indices ``0..N_D-1``."""
+        return range(self._num_tasks)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def __call__(self, key: Key) -> int:
+        destination = self._table.get(key)
+        if destination is not None:
+            return destination
+        return self._hash(key)
+
+    def hash_destination(self, key: Key) -> int:
+        """``h(k)`` — the destination ignoring the routing table."""
+        return self._hash(key)
+
+    def is_explicit(self, key: Key) -> bool:
+        """True when ``key`` is routed by the table rather than the hash."""
+        return key in self._table
+
+    def destinations(self, keys: Iterable[Key]) -> Dict[Key, int]:
+        """Evaluate ``F`` over many keys at once."""
+        return {key: self(key) for key in keys}
+
+    def keys_of_task(self, task: int, keys: Iterable[Key]) -> List[Key]:
+        """Subset of ``keys`` currently assigned to ``task``."""
+        return [key for key in keys if self(key) == task]
+
+    def partition(self, keys: Iterable[Key]) -> Dict[int, List[Key]]:
+        """Group ``keys`` by destination task."""
+        groups: Dict[int, List[Key]] = {task: [] for task in self.tasks}
+        for key in keys:
+            groups[self(key)].append(key)
+        return groups
+
+    # -- rebalancing helpers -----------------------------------------------------
+
+    def delta(self, other: "AssignmentFunction", keys: Iterable[Key]) -> Set[Key]:
+        """``Δ(F, F′)``: keys whose destination differs between the two functions.
+
+        Only keys in ``keys`` (typically the keys observed in the statistics
+        window) are considered — unseen keys carry no state and therefore incur
+        no migration.
+        """
+        return {key for key in keys if self(key) != other(key)}
+
+    def with_table(self, table: RoutingTable) -> "AssignmentFunction":
+        """Return a new assignment function sharing ``h`` but with ``table``."""
+        return AssignmentFunction(self._hash, table, num_tasks=self._num_tasks)
+
+    def copy(self) -> "AssignmentFunction":
+        """Deep-copy (the routing table is copied; the hash is shared)."""
+        return AssignmentFunction(
+            self._hash, self._table.copy(), num_tasks=self._num_tasks
+        )
+
+    def normalized_table(self) -> RoutingTable:
+        """Return a copy of the table with redundant entries removed.
+
+        An entry ``(k, d)`` is redundant when ``d == h(k)``; dropping it does
+        not change ``F`` but shrinks ``N_A``.
+        """
+        table = self._table.copy()
+        for key in list(table.keys()):
+            if table[key] == self._hash(key):
+                table.discard(key)
+        return table
+
+    # -- construction helpers ----------------------------------------------------
+
+    @classmethod
+    def hashed(
+        cls,
+        num_tasks: int,
+        *,
+        seed: int = 0,
+        max_table_size: Optional[int] = None,
+    ) -> "AssignmentFunction":
+        """Create a fresh mixed assignment with an empty routing table."""
+        return cls(
+            UniversalHash(num_tasks, seed=seed),
+            RoutingTable(max_size=max_table_size),
+            num_tasks=num_tasks,
+        )
+
+    @classmethod
+    def from_mapping(
+        cls,
+        hash_function: HashFunction,
+        mapping: Mapping[Key, int],
+        *,
+        num_tasks: Optional[int] = None,
+        max_table_size: Optional[int] = None,
+    ) -> "AssignmentFunction":
+        """Create an assignment that pins ``mapping`` on top of ``hash_function``.
+
+        Entries agreeing with the hash are dropped to keep the table minimal.
+        """
+        function = cls(
+            hash_function,
+            RoutingTable(max_size=max_table_size),
+            num_tasks=num_tasks,
+        )
+        for key, task in mapping.items():
+            if task != hash_function(key):
+                function.routing_table.set(key, task, enforce_limit=False)
+        return function
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AssignmentFunction(num_tasks={self._num_tasks}, "
+            f"table_size={self._table.size})"
+        )

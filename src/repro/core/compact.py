@@ -1,0 +1,547 @@
+"""Compact statistics representation and the adapted Mixed planner (Section IV).
+
+Transmitting and planning over per-key statistics does not scale to millions of
+keys, so the controller groups keys into six-dimensional records::
+
+    (d', d, d_h, v_c, v_S, #)
+
+where ``d'`` is the next destination (``nil`` while the record sits in the
+candidate set), ``d`` the current destination, ``d_h`` the hash destination,
+``v_c``/``v_S`` the *discretised* computation cost and window memory of each
+key in the group, and ``#`` the number of grouped keys.
+
+:class:`CompactStatistics` builds the records from an interval snapshot, an
+assignment function and a discretiser.  :class:`CompactMixedPlanner` runs the
+adapted Mixed algorithm directly over the records (splitting a record when only
+part of its keys must move) and finally expands the record-level moves back to
+concrete keys — reproducing Fig. 11's order-of-magnitude planning-time
+reduction at the price of a bounded load-estimation error.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.assignment import AssignmentFunction
+from repro.core.criteria import DEFAULT_BETA, gamma_index
+from repro.core.discretization import HLHEDiscretizer
+from repro.core.load import average_load, load_from_costs, max_balance_indicator
+from repro.core.migration import build_migration_plan, migration_cost_fraction
+from repro.core.planner import PlannerConfig, RebalanceResult
+from repro.core.routing_table import RoutingTable
+from repro.core.statistics import StatisticsStore
+
+__all__ = [
+    "CompactRecord",
+    "CompactStatistics",
+    "CompactMixedPlanner",
+    "load_estimation_error",
+]
+
+Key = Hashable
+
+_EPS = 1e-9
+
+#: Group signature: (current destination d, hash destination d_h, v_c, v_S).
+GroupSignature = Tuple[int, int, float, float]
+
+
+@dataclass(frozen=True)
+class CompactRecord:
+    """One six-dimensional record of the compact representation."""
+
+    next_dest: Optional[int]  # d' — None encodes the paper's ``nil``
+    current: int  # d
+    hash_dest: int  # d_h
+    cost: float  # v_c (discretised, per key)
+    memory: float  # v_S (discretised, per key)
+    count: int  # number of keys grouped in this record
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("record count must be non-negative")
+        if self.cost < 0 or self.memory < 0:
+            raise ValueError("record cost/memory must be non-negative")
+
+    @property
+    def signature(self) -> GroupSignature:
+        """The grouping signature ``(d, d_h, v_c, v_S)``."""
+        return (self.current, self.hash_dest, self.cost, self.memory)
+
+    @property
+    def total_cost(self) -> float:
+        """Aggregate load carried by all keys of the record (``v_c · #``)."""
+        return self.cost * self.count
+
+    @property
+    def total_memory(self) -> float:
+        """Aggregate state carried by all keys of the record (``v_S · #``)."""
+        return self.memory * self.count
+
+    @property
+    def is_explicit(self) -> bool:
+        """True when the record's keys need a routing-table entry (d ≠ d_h)."""
+        return self.current != self.hash_dest
+
+    def split(self, count: int) -> Tuple["CompactRecord", "CompactRecord"]:
+        """Split into ``(taken, remainder)`` records of ``count`` / rest keys."""
+        if count < 0 or count > self.count:
+            raise ValueError(f"cannot take {count} keys from a record of {self.count}")
+        return replace(self, count=count), replace(self, count=self.count - count)
+
+
+class CompactStatistics:
+    """The full compact view of one planning round's statistics."""
+
+    def __init__(
+        self,
+        records: List[CompactRecord],
+        key_groups: Dict[GroupSignature, List[Key]],
+        num_tasks: int,
+    ) -> None:
+        self.records = records
+        self.key_groups = key_groups
+        self.num_tasks = int(num_tasks)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_stats(
+        cls,
+        stats: StatisticsStore,
+        assignment: AssignmentFunction,
+        discretizer: Optional[HLHEDiscretizer] = None,
+        window: Optional[int] = None,
+    ) -> "CompactStatistics":
+        """Build the records from per-key statistics.
+
+        ``discretizer=None`` keeps the original (undiscretised) values — the
+        "Original Key Space" data point of Fig. 11(a), where every distinct
+        value forms its own group.
+        """
+        costs = stats.cost_map()
+        memories = stats.memory_map(window)
+        keys = list(costs.keys())
+        if discretizer is not None:
+            disc_costs = discretizer.discretize_map(costs)
+            disc_mems = discretizer.discretize_map(
+                {key: memories.get(key, 0.0) for key in keys}
+            )
+        else:
+            disc_costs = dict(costs)
+            disc_mems = {key: memories.get(key, 0.0) for key in keys}
+
+        groups: Dict[GroupSignature, List[Key]] = {}
+        for key in keys:
+            signature = (
+                assignment(key),
+                assignment.hash_destination(key),
+                disc_costs[key],
+                disc_mems[key],
+            )
+            groups.setdefault(signature, []).append(key)
+
+        records = [
+            CompactRecord(
+                next_dest=signature[0],
+                current=signature[0],
+                hash_dest=signature[1],
+                cost=signature[2],
+                memory=signature[3],
+                count=len(group_keys),
+            )
+            for signature, group_keys in sorted(groups.items(), key=lambda kv: repr(kv[0]))
+        ]
+        # Deterministic expansion order inside each group.
+        for group_keys in groups.values():
+            group_keys.sort(key=repr)
+        return cls(records, groups, assignment.num_tasks)
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def total_keys(self) -> int:
+        return sum(record.count for record in self.records)
+
+    def estimated_loads(self, records: Optional[Sequence[CompactRecord]] = None) -> Dict[int, float]:
+        """Per-task load estimated from (discretised) record costs by ``d'``."""
+        records = self.records if records is None else records
+        loads: Dict[int, float] = {task: 0.0 for task in range(self.num_tasks)}
+        for record in records:
+            if record.next_dest is None:
+                continue
+            loads[record.next_dest] += record.total_cost
+        return loads
+
+
+@dataclass
+class CompactPlanOutcome:
+    """A :class:`RebalanceResult` plus compact-specific diagnostics."""
+
+    result: RebalanceResult
+    record_count: int
+    estimated_loads: Dict[int, float] = field(default_factory=dict)
+    load_estimation_error: float = 0.0
+
+
+class CompactMixedPlanner:
+    """Adapted Mixed algorithm running over compact records.
+
+    The structure mirrors Algorithm 4: an (incrementally deepened) cleaning
+    phase by smallest ``v_S`` first, candidate selection from overloaded tasks
+    by largest γ, and a least-load-fit assignment phase.  Records are split
+    when only part of their keys must move, which keeps load estimates tight
+    without falling back to per-key work.
+    """
+
+    def __init__(
+        self,
+        discretizer: Optional[HLHEDiscretizer] = HLHEDiscretizer(8),
+        max_rounds: int = 64,
+    ) -> None:
+        self.discretizer = discretizer
+        self.max_rounds = max_rounds
+
+    name = "compact-mixed"
+
+    # -- public API ---------------------------------------------------------------
+
+    def plan(
+        self,
+        assignment: AssignmentFunction,
+        stats: StatisticsStore,
+        config: Optional[PlannerConfig] = None,
+    ) -> CompactPlanOutcome:
+        """Run the adapted Mixed algorithm and expand the plan to concrete keys."""
+        config = config if config is not None else PlannerConfig()
+        start = time.perf_counter()
+        compact = CompactStatistics.from_stats(
+            stats, assignment, self.discretizer, config.window
+        )
+        outcome = self._plan_over_records(assignment, stats, config, compact)
+        outcome.result.generation_time = time.perf_counter() - start
+        return outcome
+
+    # -- record-level Mixed ----------------------------------------------------------
+
+    def _plan_over_records(
+        self,
+        assignment: AssignmentFunction,
+        stats: StatisticsStore,
+        config: PlannerConfig,
+        compact: CompactStatistics,
+    ) -> CompactPlanOutcome:
+        explicit_keys = sum(
+            record.count for record in compact.records if record.is_explicit
+        )
+        n = 0
+        rounds = 0
+        final_records: List[CompactRecord] = compact.records
+        while True:
+            rounds += 1
+            final_records = self._single_trial(compact, config, clean_keys=n)
+            table_size = sum(
+                record.count
+                for record in final_records
+                if record.next_dest is not None
+                and record.next_dest != record.hash_dest
+            )
+            overflow = (
+                0
+                if config.max_table_size is None
+                else max(0, table_size - config.max_table_size)
+            )
+            if overflow == 0 or n >= explicit_keys or rounds >= self.max_rounds:
+                break
+            n = min(explicit_keys, max(n + 1, n + overflow))
+
+        outcome = self._expand(assignment, stats, config, compact, final_records)
+        outcome.result.cleaning_rounds = rounds
+        outcome.result.moved_back = n
+        return outcome
+
+    def _single_trial(
+        self,
+        compact: CompactStatistics,
+        config: PlannerConfig,
+        clean_keys: int,
+    ) -> List[CompactRecord]:
+        """One cleaning/preparing/assigning pass over the records."""
+        num_tasks = compact.num_tasks
+        records: List[CompactRecord] = [replace(r) for r in compact.records]
+
+        # Phase I: move back `clean_keys` keys chosen from explicitly routed
+        # records, smallest memory (v_S) first.  Records may be split.
+        if clean_keys > 0:
+            explicit = sorted(
+                (idx for idx, r in enumerate(records) if r.is_explicit),
+                key=lambda idx: (records[idx].memory, repr(records[idx].signature)),
+            )
+            remaining = clean_keys
+            for idx in explicit:
+                if remaining <= 0:
+                    break
+                record = records[idx]
+                take = min(record.count, remaining)
+                moved, rest = record.split(take)
+                moved = replace(moved, next_dest=moved.hash_dest)
+                records[idx] = rest
+                records.append(moved)
+                remaining -= take
+            records = [r for r in records if r.count > 0]
+
+        # Phase II: compute estimated loads by d' and disassociate (set d'=nil)
+        # record portions from overloaded tasks, largest gamma first.
+        loads = {task: 0.0 for task in range(num_tasks)}
+        for record in records:
+            if record.next_dest is not None:
+                loads[record.next_dest] += record.total_cost
+        mean = average_load(loads)
+        ceiling = (1.0 + config.theta_max) * mean
+
+        candidates: List[CompactRecord] = []
+        task_records: Dict[int, List[CompactRecord]] = {t: [] for t in range(num_tasks)}
+        for record in records:
+            if record.next_dest is None:
+                candidates.append(record)
+            else:
+                task_records[record.next_dest].append(record)
+
+        for task in range(num_tasks):
+            ordered = sorted(
+                range(len(task_records[task])),
+                key=lambda idx: (
+                    -gamma_index(
+                        task_records[task][idx].cost,
+                        task_records[task][idx].memory,
+                        config.beta,
+                    ),
+                    repr(task_records[task][idx].signature),
+                ),
+            )
+            excess = loads[task] - ceiling
+            for idx in ordered:
+                record = task_records[task][idx]
+                if excess <= _EPS or record.cost <= 0:
+                    continue
+                # Number of keys to shed from this record (never more than it has).
+                shed = min(record.count, int(-(-excess // record.cost)))
+                moved, rest = record.split(shed)
+                moved = replace(moved, next_dest=None)
+                candidates.append(moved)
+                task_records[task][idx] = rest
+                excess -= moved.total_cost
+                loads[task] -= moved.total_cost
+            task_records[task] = [r for r in task_records[task] if r.count > 0]
+
+        # Phase III: adapted LLFD over candidate records.  Candidates are
+        # processed in descending per-key cost; a record is split so that each
+        # chunk fills the least-loaded task up to the ceiling.  When no task
+        # has room, an Adjust-style exchange displaces strictly cheaper record
+        # portions from the target task back into the candidate heap.
+        placed_final = self._assign_candidates(
+            candidates, task_records, loads, ceiling, num_tasks, config
+        )
+        return placed_final
+
+    def _assign_candidates(
+        self,
+        candidates: List[CompactRecord],
+        task_records: Dict[int, List[CompactRecord]],
+        loads: Dict[int, float],
+        ceiling: float,
+        num_tasks: int,
+        config: PlannerConfig,
+    ) -> List[CompactRecord]:
+        """Record-level LLFD (Phase III of the adapted Mixed algorithm)."""
+        import heapq
+        import itertools
+
+        counter = itertools.count()
+        heap: List[Tuple[float, str, int, CompactRecord]] = []
+        for record in candidates:
+            if record.count > 0:
+                heapq.heappush(
+                    heap, (-record.cost, repr(record.signature), next(counter), record)
+                )
+
+        def push_candidate(record: CompactRecord) -> None:
+            heapq.heappush(
+                heap, (-record.cost, repr(record.signature), next(counter), record)
+            )
+
+        def place(task: int, record: CompactRecord, count: int) -> CompactRecord:
+            """Assign ``count`` keys of ``record`` to ``task``; return remainder."""
+            chunk, remainder = record.split(count)
+            chunk = replace(chunk, next_dest=task)
+            task_records[task].append(chunk)
+            loads[task] += chunk.total_cost
+            return remainder
+
+        def try_exchange(task: int, cost: float) -> bool:
+            """Displace cheaper portions from ``task`` so one key of ``cost`` fits."""
+            needed = loads[task] + cost - ceiling
+            displaceable = sorted(
+                (idx for idx, r in enumerate(task_records[task]) if 0 < r.cost < cost),
+                key=lambda idx: (
+                    -gamma_index(
+                        task_records[task][idx].cost,
+                        task_records[task][idx].memory,
+                        config.beta,
+                    ),
+                    repr(task_records[task][idx].signature),
+                ),
+            )
+            chosen: List[Tuple[int, int]] = []
+            freed = 0.0
+            for idx in displaceable:
+                if freed >= needed - _EPS:
+                    break
+                record = task_records[task][idx]
+                still_needed = needed - freed
+                keys = min(record.count, int(-(-still_needed // record.cost)))
+                chosen.append((idx, keys))
+                freed += keys * record.cost
+            if freed < needed - _EPS:
+                return False
+            for idx, keys in chosen:
+                record = task_records[task][idx]
+                moved, rest = record.split(keys)
+                task_records[task][idx] = rest
+                loads[task] -= moved.total_cost
+                push_candidate(replace(moved, next_dest=None))
+            task_records[task] = [r for r in task_records[task] if r.count > 0]
+            return True
+
+        while heap:
+            _, _, _, record = heapq.heappop(heap)
+            remaining = record
+            while remaining.count > 0:
+                order = sorted(range(num_tasks), key=lambda d: (loads[d], d))
+                placed = False
+                for task in order:
+                    headroom = ceiling - loads[task]
+                    if remaining.cost <= 0:
+                        remaining = place(task, remaining, remaining.count)
+                        placed = True
+                        break
+                    fits = int((headroom + _EPS) // remaining.cost)
+                    if fits >= 1:
+                        remaining = place(task, remaining, min(fits, remaining.count))
+                        placed = True
+                        break
+                    if try_exchange(task, remaining.cost):
+                        headroom = ceiling - loads[task]
+                        fits = max(1, int((headroom + _EPS) // remaining.cost))
+                        remaining = place(task, remaining, min(fits, remaining.count))
+                        placed = True
+                        break
+                if not placed:
+                    # Best-effort fallback: spread the stragglers over the
+                    # least-loaded tasks one fair share at a time.
+                    share = max(1, remaining.count // num_tasks)
+                    remaining = place(order[0], remaining, min(share, remaining.count))
+
+        final: List[CompactRecord] = []
+        for task in range(num_tasks):
+            final.extend(r for r in task_records[task] if r.count > 0)
+        return final
+
+    # -- expansion -------------------------------------------------------------------
+
+    def _expand(
+        self,
+        assignment: AssignmentFunction,
+        stats: StatisticsStore,
+        config: PlannerConfig,
+        compact: CompactStatistics,
+        final_records: List[CompactRecord],
+    ) -> CompactPlanOutcome:
+        """Map record-level decisions back onto concrete keys and build F′."""
+        # Consume keys group by group: records that keep d'==d leave their keys
+        # in place; records that moved take keys from the front of the group.
+        cursor: Dict[GroupSignature, int] = {sig: 0 for sig in compact.key_groups}
+        placements: Dict[Key, int] = {}
+
+        # First allocate moved records (d' != d) so that staying records keep
+        # whatever keys remain — mirrors the paper's "picking up those needing
+        # migration" step.
+        moved = [r for r in final_records if r.next_dest is not None and r.next_dest != r.current]
+        staying = [r for r in final_records if r.next_dest is None or r.next_dest == r.current]
+
+        for record in moved:
+            group = compact.key_groups.get(record.signature, [])
+            start = cursor.get(record.signature, 0)
+            selected = group[start : start + record.count]
+            cursor[record.signature] = start + len(selected)
+            for key in selected:
+                placements[key] = record.next_dest  # type: ignore[arg-type]
+
+        # Every other observed key keeps its current destination.
+        for signature, group in compact.key_groups.items():
+            start = cursor.get(signature, 0)
+            for key in group[start:]:
+                placements.setdefault(key, signature[0])
+
+        # Build the new routing table: keep entries for unobserved keys, then
+        # pin every key whose final destination differs from its hash.
+        observed = set(placements)
+        new_table = RoutingTable(max_size=None)
+        for key, task in assignment.routing_table.items():
+            if key not in observed:
+                new_table.set(key, task, enforce_limit=False)
+        for key, task in placements.items():
+            if assignment.hash_destination(key) != task:
+                new_table.set(key, task, enforce_limit=False)
+
+        new_assignment = assignment.with_table(new_table)
+        plan = build_migration_plan(
+            assignment, new_assignment, observed, stats, config.window
+        )
+        fraction = migration_cost_fraction(plan.keys, stats, config.window)
+
+        actual_loads = load_from_costs(stats.cost_map(), new_assignment, assignment.num_tasks)
+        estimated = {task: 0.0 for task in range(assignment.num_tasks)}
+        for record in final_records:
+            dest = record.next_dest if record.next_dest is not None else record.current
+            estimated[dest] += record.total_cost
+
+        result = RebalanceResult(
+            algorithm=self.name,
+            assignment=new_assignment,
+            routing_table=new_table,
+            migration_plan=plan,
+            loads=actual_loads,
+            balanced=max_balance_indicator(estimated) <= config.theta_max + 1e-6,
+            max_theta=max_balance_indicator(actual_loads),
+            migration_fraction=fraction,
+        )
+        return CompactPlanOutcome(
+            result=result,
+            record_count=len(compact),
+            estimated_loads=estimated,
+            load_estimation_error=load_estimation_error(estimated, actual_loads),
+        )
+
+
+def load_estimation_error(
+    estimated: Mapping[int, float], actual: Mapping[int, float]
+) -> float:
+    """Average relative divergence between estimated and actual task loads.
+
+    This is the Fig. 11(b) metric: the percentage (here returned as a fraction)
+    by which the discretised-load estimate deviates from the true workload of a
+    task, averaged over tasks.  Tasks with no actual load are skipped.
+    """
+    errors: List[float] = []
+    for task, real in actual.items():
+        if real <= 0:
+            continue
+        errors.append(abs(estimated.get(task, 0.0) - real) / real)
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)

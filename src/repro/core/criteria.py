@@ -1,0 +1,122 @@
+"""Key selection criteria (``ψ`` and ``η`` in the paper's algorithms).
+
+The rebalancing algorithms of Section III are parameterised by *selection
+criteria* used to decide which keys to act on:
+
+* ``ψ`` — the criterion used when disassociating keys from overloaded tasks
+  (Phase II) and when building the exchangeable set inside LLFD's ``Adjust``
+  step.  MinTable uses "highest computation cost first"; MinMig and Mixed use
+  "largest migration-priority index γ first".
+* ``η`` — the criterion used by Mixed's cleaning phase to pick which routing
+  table entries to move back: "smallest window memory ``S_i(k, w)`` first".
+
+The migration priority index is ``γ_i(k, w) = c_i(k)^β / S_i(k, w)``: a key with
+a large computation cost per unit of state is cheap to migrate relative to the
+load it sheds.  ``β`` (default 1.5 per the paper's appendix) weights computation
+against migration volume.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterable, List, Mapping
+
+__all__ = [
+    "SelectionCriteria",
+    "HighestCostFirst",
+    "LargestGammaFirst",
+    "SmallestMemoryFirst",
+    "gamma_index",
+    "DEFAULT_BETA",
+]
+
+Key = Hashable
+
+#: Default weight scaling factor β selected by the paper's parameter study.
+DEFAULT_BETA = 1.5
+
+#: Memory floor used when a key has (virtually) no recorded state, so that the
+#: γ index stays finite.  The exact value only matters for tie-breaking between
+#: equally state-less keys.
+_MEMORY_FLOOR = 1e-9
+
+
+def gamma_index(cost: float, memory: float, beta: float = DEFAULT_BETA) -> float:
+    """Migration priority index ``γ = cost^β / memory``.
+
+    Keys with higher γ shed more load per unit of migrated state and are
+    therefore preferred for migration by MinMig and Mixed.
+    """
+    if cost < 0 or memory < 0:
+        raise ValueError("cost and memory must be non-negative")
+    if beta < 0:
+        raise ValueError("beta must be non-negative")
+    return (cost ** beta) / max(memory, _MEMORY_FLOOR)
+
+
+class SelectionCriteria(ABC):
+    """Orders keys by *decreasing* selection priority.
+
+    ``priority`` returns a score; keys are processed from the highest score to
+    the lowest.  Ties are broken deterministically on the key's repr so that
+    planning is reproducible run to run.
+    """
+
+    name: str = "criteria"
+
+    @abstractmethod
+    def priority(self, key: Key, cost: float, memory: float) -> float:
+        """Return the selection score of ``key`` (higher = selected earlier)."""
+
+    def sort(
+        self,
+        keys: Iterable[Key],
+        costs: Mapping[Key, float],
+        memories: Mapping[Key, float],
+    ) -> List[Key]:
+        """Return ``keys`` sorted by decreasing priority (deterministic)."""
+        return sorted(
+            keys,
+            key=lambda k: (
+                -self.priority(k, costs.get(k, 0.0), memories.get(k, 0.0)),
+                repr(k),
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class HighestCostFirst(SelectionCriteria):
+    """``ψ`` of MinTable: prefer keys with the largest computation cost."""
+
+    name = "highest-cost-first"
+
+    def priority(self, key: Key, cost: float, memory: float) -> float:
+        return cost
+
+
+class LargestGammaFirst(SelectionCriteria):
+    """``ψ`` of MinMig/Mixed: prefer keys with the largest ``γ = c^β / S``."""
+
+    name = "largest-gamma-first"
+
+    def __init__(self, beta: float = DEFAULT_BETA) -> None:
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        self.beta = float(beta)
+
+    def priority(self, key: Key, cost: float, memory: float) -> float:
+        return gamma_index(cost, memory, self.beta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LargestGammaFirst(beta={self.beta})"
+
+
+class SmallestMemoryFirst(SelectionCriteria):
+    """``η`` of Mixed's cleaning phase: prefer keys with the least state."""
+
+    name = "smallest-memory-first"
+
+    def priority(self, key: Key, cost: float, memory: float) -> float:
+        return -memory

@@ -1,0 +1,231 @@
+"""Least-Load Fit Decreasing (LLFD) — Algorithm 1 of the paper.
+
+LLFD is the Phase-III subroutine shared by MinTable, MinMig and Mixed.  It
+takes a *candidate set* ``C`` of keys that have been disassociated from their
+tasks and re-places them:
+
+1. candidates are processed in non-increasing order of computation cost;
+2. each candidate is offered to the tasks in non-decreasing order of their
+   current (estimated) load;
+3. ``Adjust`` accepts the placement if the task stays below the ceiling
+   ``L_max = (1 + θ_max) · L̄``; otherwise it tries to build an *exchangeable
+   set* ``E`` of strictly cheaper keys currently on that task whose removal
+   makes room — those keys are disassociated and pushed back into ``C``;
+4. if no task can accept the candidate even with exchanges, the key is placed
+   on the least-loaded task as a best-effort fallback (the result is then
+   reported as not balanced).
+
+The exchangeable-set conditions (i)–(iii) guarantee progress: every key pushed
+back into ``C`` has a strictly smaller cost than the key that displaced it, so
+the multiset of candidate costs decreases lexicographically and the loop
+terminates.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.criteria import HighestCostFirst, SelectionCriteria
+from repro.core.load import average_load, max_balance_indicator
+
+__all__ = ["LLFDResult", "least_load_fit_decreasing"]
+
+Key = Hashable
+HashFunction = Callable[[Key], int]
+
+#: Numerical slack for load-ceiling comparisons, so float accumulation noise
+#: does not spuriously reject an assignment that is exactly at the ceiling.
+_EPS = 1e-9
+
+
+@dataclass
+class LLFDResult:
+    """Outcome of one LLFD run."""
+
+    #: Final destination of every key the subroutine was aware of (candidates
+    #: plus keys that stayed put plus keys displaced by exchanges).
+    placements: Dict[Key, int] = field(default_factory=dict)
+    #: Estimated per-task load after the placement.
+    loads: Dict[int, float] = field(default_factory=dict)
+    #: Entries ``(k, d)`` with ``d != h(k)`` — the new routing table content.
+    routing_entries: Dict[Key, int] = field(default_factory=dict)
+    #: Whether every task ended below the ``(1 + θ_max) · L̄`` ceiling.
+    balanced: bool = True
+    #: Number of candidates that had to be force-placed on the least-loaded
+    #: task because no instance could accept them.
+    fallback_placements: int = 0
+    #: Number of Adjust exchanges performed.
+    exchanges: int = 0
+
+    @property
+    def max_theta(self) -> float:
+        """Largest balance indicator of the estimated final loads."""
+        return max_balance_indicator(self.loads)
+
+
+def least_load_fit_decreasing(
+    candidates: Iterable[Key],
+    assignment: Mapping[Key, int],
+    costs: Mapping[Key, float],
+    memories: Mapping[Key, float],
+    num_tasks: int,
+    theta_max: float,
+    hash_function: HashFunction,
+    criteria: Optional[SelectionCriteria] = None,
+    *,
+    base_loads: Optional[Mapping[int, float]] = None,
+) -> LLFDResult:
+    """Run LLFD (Algorithm 1).
+
+    Parameters
+    ----------
+    candidates:
+        Keys disassociated in Phase II — the candidate set ``C``.
+    assignment:
+        Current destination of every key *not* in the candidate set.  Keys in
+        this mapping are eligible to join an exchangeable set.
+    costs:
+        ``c_{i-1}(k)`` for every key appearing in ``candidates`` or
+        ``assignment``.
+    memories:
+        ``S_{i-1}(k, w)`` for the same keys (used only by γ-based criteria).
+    num_tasks:
+        ``N_D`` — number of downstream tasks.
+    theta_max:
+        Imbalance tolerance.
+    hash_function:
+        ``h`` — used to decide which placements need a routing-table entry.
+    criteria:
+        Selection criterion ``ψ`` for the exchangeable set.  Defaults to
+        highest-cost-first.
+    base_loads:
+        Extra per-task load that is not described by ``assignment``/``costs``
+        (e.g. load of keys outside the statistics window).  Defaults to zero.
+
+    Returns
+    -------
+    LLFDResult
+        Final placements, loads, routing entries and balance diagnostics.
+    """
+    if num_tasks <= 0:
+        raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+    if theta_max < 0:
+        raise ValueError(f"theta_max must be non-negative, got {theta_max}")
+    criteria = criteria if criteria is not None else HighestCostFirst()
+
+    candidate_set: Set[Key] = set(candidates)
+    placements: Dict[Key, int] = {}
+    per_task_keys: Dict[int, Set[Key]] = {task: set() for task in range(num_tasks)}
+    loads: Dict[int, float] = {
+        task: float(base_loads.get(task, 0.0)) if base_loads else 0.0
+        for task in range(num_tasks)
+    }
+
+    for key, task in assignment.items():
+        if key in candidate_set:
+            continue
+        if task < 0 or task >= num_tasks:
+            raise ValueError(f"assignment routes key {key!r} to invalid task {task}")
+        placements[key] = task
+        per_task_keys[task].add(key)
+        loads[task] += costs.get(key, 0.0)
+
+    # The ceiling is fixed from the *total* load (which never changes during
+    # the run): L_max = (1 + θ_max) · L̄_{i-1}.
+    total_load = sum(loads.values()) + sum(costs.get(key, 0.0) for key in candidate_set)
+    mean_load = total_load / num_tasks
+    ceiling = (1.0 + theta_max) * mean_load
+
+    # Max-heap of candidates ordered by decreasing cost (ties broken on repr
+    # for determinism).  Keys displaced by Adjust are pushed back in.
+    counter = itertools.count()
+    heap: List[Tuple[float, str, int, Key]] = []
+    for key in candidate_set:
+        heapq.heappush(heap, (-costs.get(key, 0.0), repr(key), next(counter), key))
+
+    result = LLFDResult()
+
+    def try_adjust(key: Key, cost: float, task: int) -> bool:
+        """The Adjust function of Algorithm 1 (lines 10-20)."""
+        if loads[task] + cost <= ceiling + _EPS:
+            return True
+        # Attempt to build an exchangeable set E of keys on `task`, each with a
+        # strictly smaller cost than `key`, whose removal makes room.
+        resident = [k for k in per_task_keys[task] if costs.get(k, 0.0) < cost]
+        if not resident:
+            return False
+        ordered = criteria.sort(resident, costs, memories)
+        selected: List[Key] = []
+        freed = 0.0
+        needed = loads[task] + cost - ceiling
+        for other in ordered:
+            if freed >= needed - _EPS:
+                break
+            selected.append(other)
+            freed += costs.get(other, 0.0)
+        if freed < needed - _EPS:
+            return False
+        # Disassociate the exchangeable set and push it back into C.
+        for other in selected:
+            per_task_keys[task].discard(other)
+            loads[task] -= costs.get(other, 0.0)
+            del placements[other]
+            heapq.heappush(
+                heap, (-costs.get(other, 0.0), repr(other), next(counter), other)
+            )
+            result.exchanges += 1
+        return True
+
+    while heap:
+        _, _, _, key = heapq.heappop(heap)
+        cost = costs.get(key, 0.0)
+        # Offer the key to tasks in ascending order of current load.
+        order = sorted(range(num_tasks), key=lambda task: (loads[task], task))
+        placed = False
+        for task in order:
+            if try_adjust(key, cost, task):
+                placements[key] = task
+                per_task_keys[task].add(key)
+                loads[task] += cost
+                placed = True
+                break
+        if not placed:
+            # Best-effort fallback for keys no task can absorb within the
+            # ceiling (typically a single key whose cost exceeds L̄, outside
+            # Theorem 1's precondition).  Place it on the least-loaded task and
+            # displace strictly cheaper resident keys so the oversized key ends
+            # up (almost) alone there — the same outcome Simple/LPT reaches.
+            task = order[0]
+            displaceable = criteria.sort(
+                [k for k in per_task_keys[task] if costs.get(k, 0.0) < cost],
+                costs,
+                memories,
+            )
+            for other in displaceable:
+                if loads[task] + cost <= ceiling + _EPS:
+                    break
+                per_task_keys[task].discard(other)
+                loads[task] -= costs.get(other, 0.0)
+                del placements[other]
+                heapq.heappush(
+                    heap, (-costs.get(other, 0.0), repr(other), next(counter), other)
+                )
+                result.exchanges += 1
+            placements[key] = task
+            per_task_keys[task].add(key)
+            loads[task] += cost
+            result.fallback_placements += 1
+
+    result.placements = placements
+    result.loads = loads
+    result.routing_entries = {
+        key: task for key, task in placements.items() if hash_function(key) != task
+    }
+    result.balanced = (
+        result.fallback_placements == 0
+        and max(loads.values(), default=0.0) <= ceiling + _EPS
+    )
+    return result

@@ -1,0 +1,134 @@
+"""Load model of Section II-A: per-task load, balance indicator and skewness.
+
+Given an interval snapshot and an assignment function ``F``:
+
+* ``L_i(d, F) = Σ_{k : F(k) = d} c_i(k)`` — total computation load of task ``d``;
+* ``L̄_i = (1 / N_D) Σ_d L_i(d, F)`` — the average load;
+* ``θ_i(d, F) = |L_i(d, F) − L̄_i| / L̄_i`` — the balance indicator, which the
+  controller keeps below the user-specified tolerance ``θ_max``;
+* workload skewness ``max_d L_i(d, F) / L̄_i`` — the metric plotted in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "load_per_task",
+    "load_from_costs",
+    "average_load",
+    "balance_indicator",
+    "balance_indicators",
+    "max_balance_indicator",
+    "max_skewness",
+    "overloaded_tasks",
+    "load_ceiling",
+    "is_balanced",
+]
+
+Key = Hashable
+Assignment = Callable[[Key], int]
+
+
+def load_from_costs(
+    costs: Mapping[Key, float],
+    assignment: Assignment,
+    num_tasks: int,
+) -> Dict[int, float]:
+    """Compute ``{d: L(d)}`` from a ``{key: cost}`` map and an assignment."""
+    if num_tasks <= 0:
+        raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+    loads: Dict[int, float] = {task: 0.0 for task in range(num_tasks)}
+    for key, cost in costs.items():
+        destination = assignment(key)
+        if destination not in loads:
+            raise ValueError(
+                f"assignment routed key {key!r} to task {destination}, "
+                f"outside 0..{num_tasks - 1}"
+            )
+        loads[destination] += cost
+    return loads
+
+
+def load_per_task(
+    stats: "IntervalStatsLike",
+    assignment: Assignment,
+    num_tasks: int,
+) -> Dict[int, float]:
+    """Compute ``{d: L_i(d, F)}`` from an interval snapshot.
+
+    ``stats`` may be any object with an ``items()`` yielding
+    ``(key, KeyStats)`` pairs (duck-typed so the compact representation can
+    reuse the same helpers).
+    """
+    costs = {key: stat.cost for key, stat in stats.items()}
+    return load_from_costs(costs, assignment, num_tasks)
+
+
+def average_load(loads: Mapping[int, float]) -> float:
+    """``L̄``: the mean load over all tasks (0.0 for an empty mapping)."""
+    if not loads:
+        return 0.0
+    return sum(loads.values()) / len(loads)
+
+
+def balance_indicator(load: float, mean: float) -> float:
+    """``θ = |L(d) − L̄| / L̄``; defined as 0 when the mean load is 0."""
+    if mean <= 0.0:
+        return 0.0
+    return abs(load - mean) / mean
+
+
+def balance_indicators(loads: Mapping[int, float]) -> Dict[int, float]:
+    """Per-task balance indicators ``{d: θ(d)}``."""
+    mean = average_load(loads)
+    return {task: balance_indicator(load, mean) for task, load in loads.items()}
+
+
+def max_balance_indicator(loads: Mapping[int, float]) -> float:
+    """Largest ``θ(d)`` over all tasks (0.0 for an empty mapping)."""
+    indicators = balance_indicators(loads)
+    return max(indicators.values(), default=0.0)
+
+
+def max_skewness(loads: Mapping[int, float]) -> float:
+    """Workload skewness ``max_d L(d) / L̄`` (the Fig. 7 metric).
+
+    Returns 1.0 for a perfectly balanced operator and 0.0 when there is no load
+    at all.
+    """
+    mean = average_load(loads)
+    if mean <= 0.0:
+        return 0.0
+    return max(loads.values()) / mean
+
+
+def load_ceiling(loads: Mapping[int, float], theta_max: float) -> float:
+    """``L_max = (1 + θ_max) · L̄`` — the per-task load ceiling."""
+    if theta_max < 0:
+        raise ValueError(f"theta_max must be non-negative, got {theta_max}")
+    return (1.0 + theta_max) * average_load(loads)
+
+
+def overloaded_tasks(loads: Mapping[int, float], theta_max: float) -> List[int]:
+    """Tasks whose load exceeds the ceiling ``(1 + θ_max) · L̄``."""
+    ceiling = load_ceiling(loads, theta_max)
+    return sorted(task for task, load in loads.items() if load > ceiling + 1e-12)
+
+
+def is_balanced(loads: Mapping[int, float], theta_max: float) -> bool:
+    """True when every task satisfies ``θ(d) ≤ θ_max``.
+
+    Note that the paper's constraint is one-sided in the algorithms
+    (``L(d) ≤ L_max``) but the balance indicator itself is two-sided; we follow
+    the algorithms and only check the upper side here, because an underloaded
+    task never forces a migration.
+    """
+    return not overloaded_tasks(loads, theta_max)
+
+
+class IntervalStatsLike:  # pragma: no cover - typing helper only
+    """Structural type for objects accepted by :func:`load_per_task`."""
+
+    def items(self) -> Iterable:  # noqa: D102 - protocol stub
+        raise NotImplementedError

@@ -1,0 +1,147 @@
+"""Migration bookkeeping: ``Δ(F, F′)``, migration plans and migration cost.
+
+When the controller replaces the assignment function ``F`` with ``F′``, every
+key whose destination changes must have its state (the last ``w`` intervals of
+it) moved from the old task to the new one.  The migration cost of the plan is
+
+    M_i(w, F, F′) = Σ_{k ∈ Δ(F, F′)} S_i(k, w)
+
+and the evaluation reports it as a *percentage* of the total state held by the
+operator, which is what :func:`migration_cost_fraction` computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.core.statistics import StatisticsStore
+
+__all__ = [
+    "KeyMove",
+    "MigrationPlan",
+    "assignment_delta",
+    "migration_cost",
+    "migration_cost_fraction",
+    "build_migration_plan",
+]
+
+Key = Hashable
+Assignment = Callable[[Key], int]
+
+
+@dataclass(frozen=True)
+class KeyMove:
+    """A single key migration: move ``key``'s state from ``source`` to ``target``."""
+
+    key: Key
+    source: int
+    target: int
+    state_size: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError(f"key {self.key!r} move has identical source and target")
+        if self.state_size < 0:
+            raise ValueError("state_size must be non-negative")
+
+
+@dataclass
+class MigrationPlan:
+    """The set of key moves produced by one rebalancing decision."""
+
+    moves: List[KeyMove] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+    def __iter__(self):
+        return iter(self.moves)
+
+    def __bool__(self) -> bool:
+        return bool(self.moves)
+
+    @property
+    def keys(self) -> Set[Key]:
+        """Keys involved in the migration (``Δ(F, F′)``)."""
+        return {move.key for move in self.moves}
+
+    @property
+    def total_state(self) -> float:
+        """``M_i(w, F, F′)`` — total state volume to transfer."""
+        return sum(move.state_size for move in self.moves)
+
+    def moves_by_source(self) -> Dict[int, List[KeyMove]]:
+        """Group the moves by the task that must send state."""
+        groups: Dict[int, List[KeyMove]] = {}
+        for move in self.moves:
+            groups.setdefault(move.source, []).append(move)
+        return groups
+
+    def moves_by_target(self) -> Dict[int, List[KeyMove]]:
+        """Group the moves by the task that must receive state."""
+        groups: Dict[int, List[KeyMove]] = {}
+        for move in self.moves:
+            groups.setdefault(move.target, []).append(move)
+        return groups
+
+    def affected_tasks(self) -> Set[int]:
+        """All tasks that either send or receive state."""
+        tasks: Set[int] = set()
+        for move in self.moves:
+            tasks.add(move.source)
+            tasks.add(move.target)
+        return tasks
+
+
+def assignment_delta(
+    old: Assignment,
+    new: Assignment,
+    keys: Iterable[Key],
+) -> Set[Key]:
+    """``Δ(F, F′)``: keys (among ``keys``) whose destination changes."""
+    return {key for key in keys if old(key) != new(key)}
+
+
+def migration_cost(
+    delta: Iterable[Key],
+    stats: StatisticsStore,
+    window: Optional[int] = None,
+) -> float:
+    """``M_i(w, F, F′) = Σ_{k ∈ Δ} S_i(k, w)``."""
+    return sum(stats.windowed_memory(key, window) for key in delta)
+
+
+def migration_cost_fraction(
+    delta: Iterable[Key],
+    stats: StatisticsStore,
+    window: Optional[int] = None,
+) -> float:
+    """Migration cost as a fraction of the operator's total retained state.
+
+    This is the "Migration Cost (%)" metric of Figs. 8–12 and 17–21 (divided by
+    100).  Returns 0.0 when the operator holds no state at all.
+    """
+    total = stats.total_windowed_memory(window)
+    if total <= 0.0:
+        return 0.0
+    return migration_cost(delta, stats, window) / total
+
+
+def build_migration_plan(
+    old: Assignment,
+    new: Assignment,
+    keys: Iterable[Key],
+    stats: Optional[StatisticsStore] = None,
+    window: Optional[int] = None,
+) -> MigrationPlan:
+    """Construct the :class:`MigrationPlan` realising ``F → F′`` over ``keys``."""
+    moves: List[KeyMove] = []
+    for key in keys:
+        source = old(key)
+        target = new(key)
+        if source == target:
+            continue
+        state = stats.windowed_memory(key, window) if stats is not None else 0.0
+        moves.append(KeyMove(key=key, source=source, target=target, state_size=state))
+    return MigrationPlan(moves=moves)

@@ -1,0 +1,50 @@
+"""MinMig — Algorithm 3 of the paper.
+
+MinMig minimises migration cost: Phase I does nothing (the existing routing
+table is kept untouched, so no key is rerouted unless the balance constraint
+forces it), and keys are selected for migration by the largest migration
+priority index ``γ_i(k, w) = c_i(k)^β / S_i(k, w)`` — i.e. keys that shed the
+most load per unit of transferred state.
+
+Because it never cleans, MinMig's routing table grows monotonically across
+adjustments, converging towards ``(N_D − 1)/N_D · K`` entries (Fig. 18), which
+is why the paper excludes it (and plain LLFD) from the system-level
+experiments: it cannot bound the table memory.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set
+
+from repro.core.assignment import AssignmentFunction
+from repro.core.criteria import LargestGammaFirst, SelectionCriteria
+from repro.core.planner import (
+    PlannerConfig,
+    RebalanceAlgorithm,
+    register_algorithm,
+)
+from repro.core.statistics import StatisticsStore
+
+__all__ = ["MinMigAlgorithm"]
+
+Key = Hashable
+
+
+@register_algorithm
+class MinMigAlgorithm(RebalanceAlgorithm):
+    """Migration-cost-minimising rebalancer (Algorithm 3)."""
+
+    name = "minmig"
+    retain_unobserved_entries = True
+
+    def selection_criteria(self, config: PlannerConfig) -> SelectionCriteria:
+        return LargestGammaFirst(beta=config.beta)
+
+    def keys_to_clean(
+        self,
+        assignment: AssignmentFunction,
+        stats: StatisticsStore,
+        config: PlannerConfig,
+    ) -> Set[Key]:
+        # Phase I: do nothing.
+        return set()

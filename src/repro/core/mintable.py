@@ -1,0 +1,51 @@
+"""MinTable — Algorithm 2 of the paper.
+
+MinTable minimises the size of the routing table: Phase I moves *every*
+explicitly routed key back to its hash destination (so the new table only
+contains the entries LLFD is forced to create), and both Phase II and LLFD use
+the highest-computation-cost-first criterion, which rebalances with the fewest
+key moves and therefore the fewest table entries.
+
+The price is migration cost: cleaning the table reroutes every previously
+pinned key, so their state must move even when they were not causing any
+imbalance.  The evaluation (Figs. 8–10, 19) shows MinTable paying roughly 3×
+the migration cost of Mixed at tight ``θ_max``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set
+
+from repro.core.assignment import AssignmentFunction
+from repro.core.criteria import HighestCostFirst, SelectionCriteria
+from repro.core.planner import (
+    PlannerConfig,
+    RebalanceAlgorithm,
+    register_algorithm,
+)
+from repro.core.statistics import StatisticsStore
+
+__all__ = ["MinTableAlgorithm"]
+
+Key = Hashable
+
+
+@register_algorithm
+class MinTableAlgorithm(RebalanceAlgorithm):
+    """Routing-table-minimising rebalancer (Algorithm 2)."""
+
+    name = "mintable"
+    #: Full cleaning: entries for unobserved keys are dropped as well.
+    retain_unobserved_entries = False
+
+    def selection_criteria(self, config: PlannerConfig) -> SelectionCriteria:
+        return HighestCostFirst()
+
+    def keys_to_clean(
+        self,
+        assignment: AssignmentFunction,
+        stats: StatisticsStore,
+        config: PlannerConfig,
+    ) -> Set[Key]:
+        # Phase I: move back every key in A.
+        return set(assignment.routing_table.keys())

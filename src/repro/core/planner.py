@@ -1,0 +1,314 @@
+"""Common planning infrastructure shared by the rebalancing algorithms.
+
+Every algorithm of Section III follows the same three-phase template:
+
+* **Phase I (Cleaning)** — optionally move some routing-table entries back to
+  their hash destination (virtually; no state moves yet).
+* **Phase II (Preparing)** — from every overloaded task, disassociate keys
+  (chosen by the criterion ``ψ``) into the candidate set ``C`` until the task
+  fits under the ceiling ``L_max = (1 + θ_max) · L̄``.
+* **Phase III (Assigning)** — run LLFD over ``C`` to produce the new routing
+  table ``A′`` and assignment function ``F′``.
+
+:class:`RebalanceAlgorithm` implements the template; concrete algorithms
+(:class:`~repro.core.mintable.MinTableAlgorithm`,
+:class:`~repro.core.minmig.MinMigAlgorithm`,
+:class:`~repro.core.mixed.MixedAlgorithm`, …) plug in their cleaning strategy
+and selection criteria.  :class:`RebalanceResult` carries everything the
+controller, the simulator and the benchmarks need: the new assignment, the
+migration plan and its cost, the resulting loads, and the wall-clock time the
+planner itself took (the "average generation time" metric of Figs. 8–12).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple, Type
+
+from repro.core.assignment import AssignmentFunction
+from repro.core.criteria import DEFAULT_BETA, SelectionCriteria
+from repro.core.llfd import LLFDResult, least_load_fit_decreasing
+from repro.core.load import average_load, load_from_costs, max_balance_indicator
+from repro.core.migration import (
+    MigrationPlan,
+    build_migration_plan,
+    migration_cost_fraction,
+)
+from repro.core.routing_table import RoutingTable
+from repro.core.statistics import StatisticsStore
+
+__all__ = [
+    "PlannerConfig",
+    "RebalanceResult",
+    "RebalanceAlgorithm",
+    "register_algorithm",
+    "get_algorithm",
+    "list_algorithms",
+]
+
+Key = Hashable
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Knobs shared by every rebalancing algorithm.
+
+    Attributes
+    ----------
+    theta_max:
+        Imbalance tolerance ``θ_max``.
+    max_table_size:
+        Routing table cap ``A_max`` (``None`` = unbounded).
+    beta:
+        Weight scaling factor of the migration priority index γ.
+    window:
+        State window ``w`` used when costing migrations.  ``None`` uses the
+        statistics store's own window.
+    """
+
+    theta_max: float = 0.08
+    max_table_size: Optional[int] = None
+    beta: float = DEFAULT_BETA
+    window: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.theta_max < 0:
+            raise ValueError(f"theta_max must be non-negative, got {self.theta_max}")
+        if self.max_table_size is not None and self.max_table_size < 0:
+            raise ValueError("max_table_size must be non-negative")
+        if self.beta < 0:
+            raise ValueError("beta must be non-negative")
+        if self.window is not None and self.window < 1:
+            raise ValueError("window must be >= 1")
+
+
+@dataclass
+class RebalanceResult:
+    """Outcome of one planning round."""
+
+    algorithm: str
+    assignment: AssignmentFunction
+    routing_table: RoutingTable
+    migration_plan: MigrationPlan
+    loads: Dict[int, float] = field(default_factory=dict)
+    generation_time: float = 0.0
+    balanced: bool = True
+    max_theta: float = 0.0
+    migration_fraction: float = 0.0
+    cleaning_rounds: int = 0
+    moved_back: int = 0
+
+    @property
+    def table_size(self) -> int:
+        """``N_{A′}`` — number of entries in the new routing table."""
+        return self.routing_table.size
+
+    @property
+    def migrated_keys(self) -> Set[Key]:
+        """``Δ(F, F′)`` realised by the plan."""
+        return self.migration_plan.keys
+
+    @property
+    def migration_cost(self) -> float:
+        """``M_i(w, F, F′)`` — total state volume to transfer."""
+        return self.migration_plan.total_state
+
+    def within_table_limit(self, max_table_size: Optional[int]) -> bool:
+        """True when the new table respects ``A_max``."""
+        if max_table_size is None:
+            return True
+        return self.table_size <= max_table_size
+
+
+class RebalanceAlgorithm(ABC):
+    """Template for the three-phase rebalancing algorithms."""
+
+    #: Registry / display name of the algorithm.
+    name: str = "base"
+
+    # -- hooks ----------------------------------------------------------------
+
+    @abstractmethod
+    def selection_criteria(self, config: PlannerConfig) -> SelectionCriteria:
+        """Return the Phase II / LLFD criterion ``ψ``."""
+
+    @abstractmethod
+    def keys_to_clean(
+        self,
+        assignment: AssignmentFunction,
+        stats: StatisticsStore,
+        config: PlannerConfig,
+    ) -> Set[Key]:
+        """Return the routing-table keys to (virtually) move back in Phase I."""
+
+    # -- template -------------------------------------------------------------
+
+    def plan(
+        self,
+        assignment: AssignmentFunction,
+        stats: StatisticsStore,
+        config: Optional[PlannerConfig] = None,
+    ) -> RebalanceResult:
+        """Run the full three-phase planning round and time it."""
+        config = config if config is not None else PlannerConfig()
+        start = time.perf_counter()
+        result = self._plan(assignment, stats, config)
+        result.generation_time = time.perf_counter() - start
+        return result
+
+    def _plan(
+        self,
+        assignment: AssignmentFunction,
+        stats: StatisticsStore,
+        config: PlannerConfig,
+    ) -> RebalanceResult:
+        cleaned = self.keys_to_clean(assignment, stats, config)
+        return self.plan_with_cleaning(assignment, stats, config, cleaned)
+
+    def plan_with_cleaning(
+        self,
+        assignment: AssignmentFunction,
+        stats: StatisticsStore,
+        config: PlannerConfig,
+        cleaned: Set[Key],
+    ) -> RebalanceResult:
+        """Phases II and III given a fixed cleaning decision.
+
+        Exposed separately so that Mixed (and its brute-force variant) can run
+        several cleaning trials without re-entering the public template.
+        """
+        criteria = self.selection_criteria(config)
+        costs = stats.cost_map()
+        memories = stats.memory_map(config.window)
+        observed = set(costs)
+        num_tasks = assignment.num_tasks
+
+        # Working destination after the (virtual) cleaning of Phase I.
+        def working_destination(key: Key) -> int:
+            if key in cleaned:
+                return assignment.hash_destination(key)
+            return assignment(key)
+
+        working: Dict[Key, int] = {key: working_destination(key) for key in observed}
+        loads = load_from_costs(costs, lambda k: working[k], num_tasks)
+        mean = average_load(loads)
+        ceiling = (1.0 + config.theta_max) * mean
+
+        # Phase II: disassociate keys from overloaded tasks until they fit.
+        candidates: Set[Key] = set()
+        keys_by_task: Dict[int, List[Key]] = {task: [] for task in range(num_tasks)}
+        for key, task in working.items():
+            keys_by_task[task].append(key)
+        for task in range(num_tasks):
+            if loads[task] <= ceiling + _EPS:
+                continue
+            ordered = criteria.sort(keys_by_task[task], costs, memories)
+            for key in ordered:
+                if loads[task] <= ceiling + _EPS:
+                    break
+                candidates.add(key)
+                loads[task] -= costs.get(key, 0.0)
+
+        remaining = {key: task for key, task in working.items() if key not in candidates}
+
+        # Phase III: LLFD.
+        llfd = least_load_fit_decreasing(
+            candidates,
+            remaining,
+            costs,
+            memories,
+            num_tasks,
+            config.theta_max,
+            assignment.hash_destination,
+            criteria,
+        )
+
+        return self._build_result(
+            assignment, stats, config, cleaned, llfd, observed
+        )
+
+    # -- result assembly --------------------------------------------------------
+
+    def _build_result(
+        self,
+        assignment: AssignmentFunction,
+        stats: StatisticsStore,
+        config: PlannerConfig,
+        cleaned: Set[Key],
+        llfd: LLFDResult,
+        observed: Set[Key],
+    ) -> RebalanceResult:
+        new_table = RoutingTable(max_size=None)
+        # Keep old explicit entries for keys outside the statistics window —
+        # they carry no state, so leaving them pinned costs nothing, and
+        # dropping them would silently reroute live keys.  MinTable overrides
+        # ``retain_unobserved_entries`` to drop them (full cleaning).
+        if self.retain_unobserved_entries:
+            for key, task in assignment.routing_table.items():
+                if key not in observed:
+                    new_table.set(key, task, enforce_limit=False)
+        for key, task in llfd.routing_entries.items():
+            new_table.set(key, task, enforce_limit=False)
+
+        new_assignment = assignment.with_table(new_table)
+        plan = build_migration_plan(
+            assignment, new_assignment, observed, stats, config.window
+        )
+        fraction = migration_cost_fraction(plan.keys, stats, config.window)
+        return RebalanceResult(
+            algorithm=self.name,
+            assignment=new_assignment,
+            routing_table=new_table,
+            migration_plan=plan,
+            loads=dict(llfd.loads),
+            balanced=llfd.balanced,
+            max_theta=llfd.max_theta,
+            migration_fraction=fraction,
+            moved_back=len(cleaned),
+        )
+
+    #: Whether routing-table entries for keys unseen in the statistics window
+    #: survive the planning round (True for MinMig/Mixed, False for MinTable).
+    retain_unobserved_entries: bool = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+# -- registry -------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[RebalanceAlgorithm]] = {}
+
+
+def register_algorithm(cls: Type[RebalanceAlgorithm]) -> Type[RebalanceAlgorithm]:
+    """Class decorator adding an algorithm to the name registry."""
+    if not cls.name or cls.name == "base":
+        raise ValueError(f"{cls.__name__} must define a unique non-default name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_algorithm(name: str, **kwargs) -> RebalanceAlgorithm:
+    """Instantiate a registered algorithm by name (e.g. ``"mixed"``)."""
+    # Importing the concrete modules lazily avoids circular imports while
+    # still letting `get_algorithm` work without explicit imports by callers.
+    from repro.core import minmig, mintable, mixed, simple  # noqa: F401
+
+    try:
+        cls = _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown rebalancing algorithm {name!r}; known: {sorted(_REGISTRY)}"
+        ) from exc
+    return cls(**kwargs)
+
+
+def list_algorithms() -> List[str]:
+    """Names of every registered rebalancing algorithm."""
+    from repro.core import minmig, mintable, mixed, simple  # noqa: F401
+
+    return sorted(_REGISTRY)

@@ -1,0 +1,82 @@
+"""The Simple algorithm (Algorithm 5, appendix of the paper).
+
+Simple disassociates *every* key, sorts them by non-increasing computation
+cost, and greedily assigns each key to the instance with the least total load
+so far (classic Longest Processing Time / LPT scheduling).  It ignores the
+routing-table size and the migration cost entirely; the paper uses it to derive
+the ⅓·(1 − 1/N_D) balance bound (Lemma 3 / Theorem 1) that LLFD inherits.
+
+It is also a useful baseline in tests: LLFD and Mixed must never produce a
+worse balance than Simple (Theorem 2 / Theorem 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping, Set, Tuple
+
+from repro.core.assignment import AssignmentFunction
+from repro.core.criteria import HighestCostFirst, SelectionCriteria
+from repro.core.planner import (
+    PlannerConfig,
+    RebalanceAlgorithm,
+    RebalanceResult,
+    register_algorithm,
+)
+from repro.core.statistics import StatisticsStore
+
+__all__ = ["simple_assign", "SimpleAlgorithm"]
+
+Key = Hashable
+HashFunction = Callable[[Key], int]
+
+
+def simple_assign(
+    costs: Mapping[Key, float],
+    num_tasks: int,
+    hash_function: HashFunction,
+) -> Tuple[Dict[Key, int], Dict[int, float], Dict[Key, int]]:
+    """Run Algorithm 5 directly over a ``{key: cost}`` map.
+
+    Returns ``(placements, loads, routing_entries)`` where ``routing_entries``
+    contains only the keys whose destination differs from the hash.
+    """
+    if num_tasks <= 0:
+        raise ValueError(f"num_tasks must be positive, got {num_tasks}")
+    loads: Dict[int, float] = {task: 0.0 for task in range(num_tasks)}
+    placements: Dict[Key, int] = {}
+    ordered = sorted(costs, key=lambda k: (-costs[k], repr(k)))
+    for key in ordered:
+        task = min(loads, key=lambda d: (loads[d], d))
+        placements[key] = task
+        loads[task] += costs[key]
+    routing = {
+        key: task for key, task in placements.items() if hash_function(key) != task
+    }
+    return placements, loads, routing
+
+
+@register_algorithm
+class SimpleAlgorithm(RebalanceAlgorithm):
+    """Algorithm 5 wrapped in the common planning template.
+
+    Cleaning disassociates *all* explicitly routed keys, and Phase II's
+    criterion is highest-cost-first; combined with the fact that Simple also
+    ignores ``A_max``, the template run is equivalent to LPT over the keys of
+    the overloaded instances.  For the exact textbook behaviour (re-placing
+    every key, not only the ones from overloaded instances) use
+    :func:`simple_assign`.
+    """
+
+    name = "simple"
+    retain_unobserved_entries = False
+
+    def selection_criteria(self, config: PlannerConfig) -> SelectionCriteria:
+        return HighestCostFirst()
+
+    def keys_to_clean(
+        self,
+        assignment: AssignmentFunction,
+        stats: StatisticsStore,
+        config: PlannerConfig,
+    ) -> Set[Key]:
+        return set(assignment.routing_table.keys())

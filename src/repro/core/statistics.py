@@ -1,0 +1,259 @@
+"""Per-interval key statistics (Section II-A of the paper).
+
+For every time interval ``T_i`` and key ``k`` the system measures:
+
+* ``g_i(k)`` — frequency: number of tuples with key ``k``;
+* ``c_i(k)`` — computation cost: CPU resource required to process those tuples;
+* ``s_i(k)`` — memory consumption of the state produced for ``k`` in ``T_i``.
+
+The windowed memory ``S_i(k, w) = Σ_{j=i-w+1..i} s_j(k)`` measures the state
+that must be transferred when the key is migrated (only the last ``w`` intervals
+are retained by a stateful operator).
+
+:class:`IntervalStats` is the immutable snapshot of one interval.
+:class:`StatisticsStore` accumulates snapshots, keeps only the last ``w`` of
+them, and answers the windowed queries the planning algorithms need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, Iterable, Mapping, Optional, Set, Tuple
+
+__all__ = ["KeyStats", "IntervalStats", "StatisticsStore"]
+
+Key = Hashable
+
+
+@dataclass(frozen=True)
+class KeyStats:
+    """Measurements for a single key during a single interval."""
+
+    frequency: float = 0.0
+    cost: float = 0.0
+    memory: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency < 0 or self.cost < 0 or self.memory < 0:
+            raise ValueError(f"key statistics must be non-negative: {self}")
+
+    def merged(self, other: "KeyStats") -> "KeyStats":
+        """Return the element-wise sum of two measurements."""
+        return KeyStats(
+            frequency=self.frequency + other.frequency,
+            cost=self.cost + other.cost,
+            memory=self.memory + other.memory,
+        )
+
+
+class IntervalStats:
+    """Statistics of every observed key for a single time interval ``T_i``.
+
+    The snapshot is conceptually immutable once handed to the planner; the
+    mutating helpers (:meth:`record`) are only used while the interval is being
+    measured (by tasks or by workload generators).
+    """
+
+    __slots__ = ("interval", "_stats")
+
+    def __init__(
+        self,
+        interval: int,
+        stats: Optional[Mapping[Key, KeyStats]] = None,
+    ) -> None:
+        self.interval = int(interval)
+        self._stats: Dict[Key, KeyStats] = dict(stats) if stats else {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_frequencies(
+        cls,
+        interval: int,
+        frequencies: Mapping[Key, float],
+        *,
+        cost_per_tuple: float = 1.0,
+        memory_per_tuple: float = 1.0,
+    ) -> "IntervalStats":
+        """Build a snapshot from raw key frequencies.
+
+        This is the common path for synthetic workloads where the computation
+        cost and state growth are proportional to the number of tuples.
+        """
+        stats = {
+            key: KeyStats(
+                frequency=float(freq),
+                cost=float(freq) * cost_per_tuple,
+                memory=float(freq) * memory_per_tuple,
+            )
+            for key, freq in frequencies.items()
+            if freq > 0
+        }
+        return cls(interval, stats)
+
+    def record(
+        self,
+        key: Key,
+        *,
+        frequency: float = 0.0,
+        cost: float = 0.0,
+        memory: float = 0.0,
+    ) -> None:
+        """Accumulate a measurement for ``key`` into this interval."""
+        addition = KeyStats(frequency=frequency, cost=cost, memory=memory)
+        existing = self._stats.get(key)
+        self._stats[key] = addition if existing is None else existing.merged(addition)
+
+    # -- queries --------------------------------------------------------------
+
+    def keys(self) -> Iterable[Key]:
+        return self._stats.keys()
+
+    def items(self) -> Iterable[Tuple[Key, KeyStats]]:
+        return self._stats.items()
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._stats
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def get(self, key: Key) -> KeyStats:
+        """Return the stats of ``key`` (zeros if the key was not observed)."""
+        return self._stats.get(key, KeyStats())
+
+    def frequency(self, key: Key) -> float:
+        """``g_i(k)``."""
+        return self.get(key).frequency
+
+    def cost(self, key: Key) -> float:
+        """``c_i(k)``."""
+        return self.get(key).cost
+
+    def memory(self, key: Key) -> float:
+        """``s_i(k)``."""
+        return self.get(key).memory
+
+    def total_cost(self) -> float:
+        """Total computation cost of the interval over all keys."""
+        return sum(stat.cost for stat in self._stats.values())
+
+    def total_frequency(self) -> float:
+        """Total number of tuples in the interval."""
+        return sum(stat.frequency for stat in self._stats.values())
+
+    def total_memory(self) -> float:
+        """Total state produced during the interval."""
+        return sum(stat.memory for stat in self._stats.values())
+
+    def copy(self) -> "IntervalStats":
+        return IntervalStats(self.interval, self._stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IntervalStats(interval={self.interval}, keys={len(self._stats)})"
+
+
+@dataclass
+class StatisticsStore:
+    """Rolling store of the last ``window`` interval snapshots.
+
+    This is the controller-side view of step 1 of the rebalance workflow
+    (Fig. 5): tasks report their per-key measurements at the end of every
+    interval; the store retains only the last ``w`` intervals, which is all the
+    planner needs for both the cost model (latest interval) and the migration
+    model (windowed state size ``S_i(k, w)``).
+    """
+
+    window: int = 1
+    _history: Deque[IntervalStats] = field(default_factory=deque, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+
+    # -- ingestion ------------------------------------------------------------
+
+    def push(self, stats: IntervalStats) -> None:
+        """Append the snapshot of a newly finished interval."""
+        if self._history and stats.interval <= self._history[-1].interval:
+            raise ValueError(
+                "interval snapshots must be pushed in strictly increasing order: "
+                f"got {stats.interval} after {self._history[-1].interval}"
+            )
+        self._history.append(stats)
+        while len(self._history) > self.window:
+            self._history.popleft()
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[int, ...]:
+        """Interval indices currently retained, oldest first."""
+        return tuple(snapshot.interval for snapshot in self._history)
+
+    @property
+    def latest(self) -> IntervalStats:
+        """Snapshot of the most recent interval (``T_{i-1}`` for the planner)."""
+        if not self._history:
+            raise LookupError("no interval statistics recorded yet")
+        return self._history[-1]
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    def __bool__(self) -> bool:
+        return bool(self._history)
+
+    def observed_keys(self) -> Set[Key]:
+        """All keys observed in the retained window."""
+        keys: Set[Key] = set()
+        for snapshot in self._history:
+            keys.update(snapshot.keys())
+        return keys
+
+    def frequency(self, key: Key) -> float:
+        """``g_{i-1}(k)`` of the latest interval."""
+        return self.latest.frequency(key)
+
+    def cost(self, key: Key) -> float:
+        """``c_{i-1}(k)`` of the latest interval."""
+        return self.latest.cost(key)
+
+    def windowed_memory(self, key: Key, window: Optional[int] = None) -> float:
+        """``S_i(k, w)``: total state for ``key`` over the last ``w`` intervals.
+
+        ``window`` defaults to the store's window; a smaller value restricts
+        the sum to fewer (most recent) intervals.
+        """
+        w = self.window if window is None else window
+        if w < 1:
+            raise ValueError(f"window must be >= 1, got {w}")
+        total = 0.0
+        for snapshot in list(self._history)[-w:]:
+            total += snapshot.memory(key)
+        return total
+
+    def total_windowed_memory(self, window: Optional[int] = None) -> float:
+        """Total state held by the operator over the retained window."""
+        w = self.window if window is None else window
+        return sum(snapshot.total_memory() for snapshot in list(self._history)[-w:])
+
+    def cost_map(self) -> Dict[Key, float]:
+        """``{k: c_{i-1}(k)}`` of the latest interval."""
+        return {key: stat.cost for key, stat in self.latest.items()}
+
+    def memory_map(self, window: Optional[int] = None) -> Dict[Key, float]:
+        """``{k: S_i(k, w)}`` over every key observed in the window."""
+        result: Dict[Key, float] = {}
+        w = self.window if window is None else window
+        for snapshot in list(self._history)[-w:]:
+            for key, stat in snapshot.items():
+                result[key] = result.get(key, 0.0) + stat.memory
+        return result
+
+    def copy(self) -> "StatisticsStore":
+        clone = StatisticsStore(window=self.window)
+        for snapshot in self._history:
+            clone._history.append(snapshot.copy())
+        return clone

@@ -1,0 +1,52 @@
+"""Storm-like distributed stream processing engine substrate.
+
+The engine provides everything the paper's evaluation environment (Apache
+Storm on a 21-node cluster) contributed to the experiments, re-implemented as a
+simulator:
+
+* the data model (:mod:`repro.engine.tuples`), keyed windowed state
+  (:mod:`repro.engine.state`, :mod:`repro.engine.window`),
+* logical operators, task instances and topologies
+  (:mod:`repro.engine.operator`, :mod:`repro.engine.topology`),
+* a fluid per-interval execution model with queueing, backpressure and latency
+  (:mod:`repro.engine.executor`, :mod:`repro.engine.backpressure`),
+* the pause → migrate → ack → resume migration protocol of Fig. 5
+  (:mod:`repro.engine.migration_protocol`),
+* the interval-driven simulators used by the experiments
+  (:mod:`repro.engine.simulator`) and metric collection
+  (:mod:`repro.engine.metrics`),
+* the adapter exposing the paper's rebalance controller as an engine
+  partitioner (:mod:`repro.engine.routing`).
+"""
+
+from repro.engine.executor import ExecutorConfig, TaskExecutor
+from repro.engine.metrics import IntervalMetrics, MetricsCollector
+from repro.engine.migration_protocol import MigrationProtocol, MigrationReport
+from repro.engine.operator import OperatorLogic, Task
+from repro.engine.routing import MixedRoutingPartitioner
+from repro.engine.simulator import OperatorSimulator, PipelineSimulator, SimulationConfig
+from repro.engine.state import KeyedState
+from repro.engine.topology import PipelineStage, Topology, TopologyBuilder
+from repro.engine.tuples import StreamTuple
+from repro.engine.window import SlidingWindow
+
+__all__ = [
+    "ExecutorConfig",
+    "IntervalMetrics",
+    "KeyedState",
+    "MetricsCollector",
+    "MigrationProtocol",
+    "MigrationReport",
+    "MixedRoutingPartitioner",
+    "OperatorLogic",
+    "OperatorSimulator",
+    "PipelineSimulator",
+    "PipelineStage",
+    "SimulationConfig",
+    "SlidingWindow",
+    "StreamTuple",
+    "Task",
+    "TaskExecutor",
+    "Topology",
+    "TopologyBuilder",
+]

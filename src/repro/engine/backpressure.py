@@ -1,0 +1,51 @@
+"""Backpressure model.
+
+In Storm, when one task of a downstream operator cannot keep up, the spout (and
+every upstream operator) is throttled: the *whole* pipeline runs at the pace of
+the slowest task ("operator 1 is forced to slow down its processing speed under
+backpushing effect" — Fig. 1 of the paper).  The fluid simulator uses
+:func:`admissible_fraction` to decide which share of the offered workload the
+upstream may actually emit in an interval, given the per-task offered loads and
+capacities of the bottleneck operator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["admissible_fraction", "throttled_loads"]
+
+
+def admissible_fraction(
+    offered: Mapping[int, float],
+    capacities: Mapping[int, float],
+    backlogs: Mapping[int, float],
+    *,
+    headroom: float = 1.0,
+) -> float:
+    """Fraction of the offered interval workload the upstream may emit.
+
+    The pipeline is throttled by the most overloaded task: if a task is offered
+    twice its (remaining) capacity, only half of *every* task's tuples can be
+    emitted this interval — the rest stays buffered at the spout.  ``headroom``
+    > 1 allows transient over-admission (Storm's max-pending window).
+    """
+    worst = 1.0
+    for task, load in offered.items():
+        capacity = capacities.get(task, 0.0)
+        if capacity <= 0:
+            return 0.0
+        remaining = max(capacity * headroom - backlogs.get(task, 0.0), 0.0)
+        if load <= 0:
+            continue
+        worst = min(worst, remaining / load)
+    return max(0.0, min(1.0, worst))
+
+
+def throttled_loads(
+    offered: Mapping[int, float],
+    fraction: float,
+) -> Dict[int, float]:
+    """Scale every task's offered load by the admissible ``fraction``."""
+    fraction = max(0.0, min(1.0, fraction))
+    return {task: load * fraction for task, load in offered.items()}

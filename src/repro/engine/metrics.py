@@ -1,0 +1,141 @@
+"""Metric collection for simulated runs.
+
+The evaluation reports, per strategy and per experiment: throughput (tuples per
+second), average processing latency (ms), workload skewness, migration cost
+(fraction of operator state moved) and plan generation time.
+:class:`MetricsCollector` stores one :class:`IntervalMetrics` record per
+simulated interval and offers the aggregates (mean / min / max, time series)
+that the figure drivers print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["IntervalMetrics", "MetricsCollector"]
+
+
+@dataclass
+class IntervalMetrics:
+    """Everything measured during one simulated interval."""
+
+    interval: int
+    offered_tuples: float = 0.0
+    processed_tuples: float = 0.0
+    shed_tuples: float = 0.0
+    throughput: float = 0.0  # tuples per second
+    latency_ms: float = 0.0  # processed-weighted average
+    skewness: float = 0.0  # max task load / average task load
+    max_theta: float = 0.0  # max |L(d) - L̄| / L̄
+    backlog: float = 0.0
+    migrated_state: float = 0.0
+    migration_fraction: float = 0.0
+    migration_seconds: float = 0.0
+    generation_time: float = 0.0
+    routing_table_size: int = 0
+    rebalanced: bool = False
+    num_tasks: int = 0
+    per_task_load: Dict[int, float] = field(default_factory=dict)
+
+
+class MetricsCollector:
+    """Accumulates per-interval metrics and exposes summary statistics."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.intervals: List[IntervalMetrics] = []
+
+    # -- ingestion --------------------------------------------------------------------
+
+    def record(self, metrics: IntervalMetrics) -> None:
+        self.intervals.append(metrics)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __iter__(self):
+        return iter(self.intervals)
+
+    # -- time series --------------------------------------------------------------------
+
+    def series(self, attribute: str) -> List[float]:
+        """Time series of one attribute (e.g. ``"throughput"``)."""
+        return [getattr(record, attribute) for record in self.intervals]
+
+    # -- aggregates ----------------------------------------------------------------------
+
+    @staticmethod
+    def _mean(values: Sequence[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    def mean(self, attribute: str, *, skip_warmup: int = 0) -> float:
+        """Mean of an attribute, optionally dropping the first intervals."""
+        return self._mean(self.series(attribute)[skip_warmup:])
+
+    def minimum(self, attribute: str) -> float:
+        values = self.series(attribute)
+        return min(values) if values else 0.0
+
+    def maximum(self, attribute: str) -> float:
+        values = self.series(attribute)
+        return max(values) if values else 0.0
+
+    @property
+    def mean_throughput(self) -> float:
+        return self.mean("throughput")
+
+    @property
+    def mean_latency_ms(self) -> float:
+        weights = self.series("processed_tuples")
+        latencies = self.series("latency_ms")
+        total = sum(weights)
+        if total <= 0:
+            return self._mean(latencies)
+        return sum(w * l for w, l in zip(weights, latencies)) / total
+
+    @property
+    def mean_skewness(self) -> float:
+        return self.mean("skewness")
+
+    @property
+    def total_migrated_state(self) -> float:
+        return sum(self.series("migrated_state"))
+
+    @property
+    def mean_migration_fraction(self) -> float:
+        """Average migration fraction over the intervals that rebalanced."""
+        fractions = [
+            record.migration_fraction for record in self.intervals if record.rebalanced
+        ]
+        return self._mean(fractions)
+
+    @property
+    def mean_generation_time(self) -> float:
+        """Average plan-generation time over the intervals that rebalanced."""
+        times = [
+            record.generation_time for record in self.intervals if record.rebalanced
+        ]
+        return self._mean(times)
+
+    @property
+    def rebalance_count(self) -> int:
+        return sum(1 for record in self.intervals if record.rebalanced)
+
+    def summary(self) -> Dict[str, float]:
+        """A compact dictionary of headline numbers for reports."""
+        return {
+            "intervals": float(len(self.intervals)),
+            "throughput_mean": self.mean_throughput,
+            "throughput_min": self.minimum("throughput"),
+            "throughput_max": self.maximum("throughput"),
+            "latency_ms_mean": self.mean_latency_ms,
+            "skewness_mean": self.mean_skewness,
+            "skewness_max": self.maximum("skewness"),
+            "migration_fraction_mean": self.mean_migration_fraction,
+            "generation_time_mean": self.mean_generation_time,
+            "rebalances": float(self.rebalance_count),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsCollector(label={self.label!r}, intervals={len(self.intervals)})"

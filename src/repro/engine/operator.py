@@ -1,0 +1,175 @@
+"""Logical operators and their task instances.
+
+An :class:`OperatorLogic` describes *what* an operator does with a tuple: the
+CPU cost of processing it, how much windowed state it adds for the tuple's key,
+and (for the event-level API) the concrete processing function.  A
+:class:`Task` is one parallel instance of the operator: it owns a
+:class:`~repro.engine.state.KeyedState`, applies the logic to the tuples routed
+to it, and records the per-key measurements that the rebalance controller
+consumes at the end of every interval.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Optional
+
+from repro.core.statistics import IntervalStats
+from repro.engine.state import KeyedState
+from repro.engine.tuples import StreamTuple
+
+__all__ = ["OperatorLogic", "Task", "TaskMetrics"]
+
+Key = Hashable
+
+
+class OperatorLogic(ABC):
+    """Behavioural description of a logical operator.
+
+    Sub-classes override the cost/state models and, when event-level execution
+    is wanted, :meth:`process`.  The defaults describe a stateless map-like
+    operator with unit cost.
+    """
+
+    #: Operator name (topology display / metrics).
+    name: str = "operator"
+    #: Whether the operator keeps per-key state (and therefore needs key-based
+    #: routing and state migration).
+    stateful: bool = False
+    #: Number of intervals of state retained per key.
+    window: int = 1
+
+    # -- fluid model ---------------------------------------------------------------
+
+    def tuple_cost(self, key: Key, value: Any = None) -> float:
+        """CPU cost units consumed by one tuple with ``key``."""
+        return 1.0
+
+    def state_delta(self, key: Key, value: Any = None) -> float:
+        """Memory units of state added by one tuple with ``key``."""
+        return 1.0 if self.stateful else 0.0
+
+    # -- event-level model ------------------------------------------------------------
+
+    def process(
+        self,
+        tup: StreamTuple,
+        state: KeyedState,
+        task_id: int,
+    ) -> List[StreamTuple]:
+        """Process one tuple against the task-local ``state``.
+
+        Returns the tuples emitted downstream.  The default implementation
+        forwards the tuple unchanged and, for stateful operators, accumulates
+        ``state_delta`` units of state for the key.
+        """
+        if self.stateful:
+            state.accumulate(tup.key, tup.interval, self.state_delta(tup.key, tup.value))
+        return [tup]
+
+    def merge_overhead(self, distinct_partials: int) -> float:
+        """Extra per-interval cost of merging split-key partial results.
+
+        Only non-zero for operators that support the PKG execution mode; the
+        default (key-contiguous operators) is zero.
+        """
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, stateful={self.stateful})"
+
+
+@dataclass
+class TaskMetrics:
+    """Running counters of one task instance."""
+
+    tuples_processed: int = 0
+    cost_processed: float = 0.0
+    state_installed: float = 0.0
+    state_evicted: float = 0.0
+    migrations_in: int = 0
+    migrations_out: int = 0
+
+
+class Task:
+    """One parallel instance of a logical operator."""
+
+    def __init__(self, task_id: int, logic: OperatorLogic) -> None:
+        if task_id < 0:
+            raise ValueError("task_id must be non-negative")
+        self.task_id = int(task_id)
+        self.logic = logic
+        self.state = KeyedState(window=max(1, logic.window))
+        self.metrics = TaskMetrics()
+        self._interval_stats: Optional[IntervalStats] = None
+        self._current_interval: Optional[int] = None
+
+    # -- processing -------------------------------------------------------------------
+
+    def begin_interval(self, interval: int) -> None:
+        """Open measurement for ``interval`` (called by the simulator)."""
+        self._current_interval = interval
+        self._interval_stats = IntervalStats(interval)
+
+    def process(self, tup: StreamTuple) -> List[StreamTuple]:
+        """Event-level processing of a single tuple."""
+        if self._interval_stats is None:
+            self.begin_interval(tup.interval)
+        cost = self.logic.tuple_cost(tup.key, tup.value)
+        delta = self.logic.state_delta(tup.key, tup.value)
+        outputs = self.logic.process(tup, self.state, self.task_id)
+        self.metrics.tuples_processed += 1
+        self.metrics.cost_processed += cost
+        self.metrics.state_installed += delta
+        assert self._interval_stats is not None
+        self._interval_stats.record(tup.key, frequency=1.0, cost=cost, memory=delta)
+        return outputs
+
+    def ingest_counts(self, interval: int, frequencies: Dict[Key, float]) -> None:
+        """Fluid-model ingestion: account for ``frequencies`` without running
+        the event-level logic (used by the interval simulator for speed)."""
+        if self._interval_stats is None or self._current_interval != interval:
+            self.begin_interval(interval)
+        assert self._interval_stats is not None
+        for key, freq in frequencies.items():
+            cost = self.logic.tuple_cost(key) * freq
+            delta = self.logic.state_delta(key) * freq
+            self._interval_stats.record(key, frequency=freq, cost=cost, memory=delta)
+            if self.logic.stateful and delta > 0:
+                self.state.accumulate(key, interval, delta)
+            self.metrics.tuples_processed += int(freq)
+            self.metrics.cost_processed += cost
+            self.metrics.state_installed += delta
+
+    def end_interval(self) -> IntervalStats:
+        """Close the current interval and return its measurements (step 1)."""
+        if self._interval_stats is None:
+            raise RuntimeError("end_interval called before begin_interval")
+        stats = self._interval_stats
+        self._interval_stats = None
+        if self.logic.stateful and self._current_interval is not None:
+            before = self.state.total_size()
+            self.state.expire(self._current_interval)
+            self.metrics.state_evicted += before - self.state.total_size()
+        return stats
+
+    # -- migration ------------------------------------------------------------------------
+
+    def extract_key(self, key: Key):
+        """Hand over the windowed state of ``key`` (source side of a move)."""
+        self.metrics.migrations_out += 1
+        return self.state.extract(key)
+
+    def install_key(self, key: Key, snapshot) -> None:
+        """Receive the windowed state of ``key`` (target side of a move)."""
+        self.metrics.migrations_in += 1
+        self.state.install(key, snapshot)
+
+    @property
+    def state_size(self) -> float:
+        """Total windowed state currently held by the task."""
+        return self.state.total_size()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task(id={self.task_id}, logic={self.logic.name!r}, keys={len(self.state)})"

@@ -1,0 +1,174 @@
+"""Keyed, windowed operator state.
+
+Each task of a stateful operator owns a :class:`KeyedState`: for every active
+key it keeps one payload per retained interval (the ``w``-interval window of
+the paper) plus a size estimate in abstract "memory units" — the quantity the
+migration cost model is expressed in.  When a key is migrated, its entire
+windowed state is extracted on the source task and installed on the target
+task (steps 5–6 of Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+from repro.engine.window import SlidingWindow
+
+__all__ = ["KeyedState", "KeyStateSnapshot"]
+
+Key = Hashable
+
+#: The serialised form of one key's windowed state, as shipped during migration:
+#: a list of ``(interval, payload, size)`` triples.
+KeyStateSnapshot = List[Tuple[int, Any, float]]
+
+
+class KeyedState:
+    """Per-task store of windowed per-key state."""
+
+    def __init__(self, window: int = 1) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self._per_key: Dict[Key, SlidingWindow[Tuple[Any, float]]] = {}
+
+    # -- updates -----------------------------------------------------------------
+
+    def update(
+        self,
+        key: Key,
+        interval: int,
+        payload: Any,
+        size: float,
+    ) -> None:
+        """Replace the state of ``key`` for ``interval`` with ``payload``.
+
+        ``size`` is the memory footprint of the payload in abstract units.
+        """
+        if size < 0:
+            raise ValueError("state size must be non-negative")
+        window = self._per_key.get(key)
+        if window is None:
+            window = SlidingWindow(self.window)
+            self._per_key[key] = window
+        window.append(interval, (payload, float(size)))
+
+    def accumulate(
+        self,
+        key: Key,
+        interval: int,
+        delta_size: float,
+        payload_update=None,
+    ) -> Any:
+        """Grow the state of ``key`` in ``interval`` by ``delta_size``.
+
+        ``payload_update`` is an optional callable ``old_payload -> new_payload``
+        (``old_payload`` is ``None`` the first time); when omitted, the payload
+        is a plain counter of accumulated size.  Returns the new payload.
+        """
+        window = self._per_key.get(key)
+        current: Tuple[Any, float] = (None, 0.0)
+        if window is not None:
+            existing = window.get(interval)
+            if existing is not None:
+                current = existing
+        old_payload, old_size = current
+        if payload_update is not None:
+            new_payload = payload_update(old_payload)
+        else:
+            new_payload = (old_payload or 0) + delta_size
+        self.update(key, interval, new_payload, old_size + delta_size)
+        return new_payload
+
+    def expire(self, newest_interval: int) -> None:
+        """Drop state older than ``newest_interval − window + 1`` and empty keys."""
+        cutoff = newest_interval - self.window + 1
+        stale_keys: List[Key] = []
+        for key, window in self._per_key.items():
+            for interval in list(window.intervals()):
+                if interval < cutoff:
+                    # SlidingWindow evicts by capacity; force-evict by re-adding
+                    # a sentinel is unnecessary — rebuild the window without the
+                    # stale slots instead.
+                    pass
+            retained = [(i, p) for i, p in window.items() if i >= cutoff]
+            if len(retained) != len(window):
+                rebuilt: SlidingWindow[Tuple[Any, float]] = SlidingWindow(self.window)
+                for interval, payload in retained:
+                    rebuilt.append(interval, payload)
+                if retained:
+                    self._per_key[key] = rebuilt
+                else:
+                    stale_keys.append(key)
+        for key in stale_keys:
+            del self._per_key[key]
+
+    # -- queries --------------------------------------------------------------------
+
+    def keys(self) -> Iterable[Key]:
+        return self._per_key.keys()
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._per_key
+
+    def __len__(self) -> int:
+        return len(self._per_key)
+
+    def payloads(self, key: Key) -> List[Any]:
+        """All retained payloads of ``key``, oldest interval first."""
+        window = self._per_key.get(key)
+        if window is None:
+            return []
+        return [payload for payload, _ in window.payloads()]
+
+    def latest_payload(self, key: Key) -> Optional[Any]:
+        """Most recent payload of ``key`` (``None`` when the key is unknown)."""
+        payloads = self.payloads(key)
+        return payloads[-1] if payloads else None
+
+    def key_size(self, key: Key) -> float:
+        """Total windowed state size of ``key`` (``S(k, w)``)."""
+        window = self._per_key.get(key)
+        if window is None:
+            return 0.0
+        return sum(size for _, size in window.payloads())
+
+    def total_size(self) -> float:
+        """Total state held by this task."""
+        return sum(self.key_size(key) for key in self._per_key)
+
+    def size_map(self) -> Dict[Key, float]:
+        """``{key: S(k, w)}`` for every key with state on this task."""
+        return {key: self.key_size(key) for key in self._per_key}
+
+    # -- migration ---------------------------------------------------------------------
+
+    def extract(self, key: Key) -> KeyStateSnapshot:
+        """Remove and return the full windowed state of ``key``.
+
+        Returns an empty snapshot when the key holds no state (migrating a
+        stateless key is a no-op).
+        """
+        window = self._per_key.pop(key, None)
+        if window is None:
+            return []
+        return [
+            (interval, payload, size)
+            for interval, (payload, size) in window.items()
+        ]
+
+    def install(self, key: Key, snapshot: KeyStateSnapshot) -> None:
+        """Install a previously extracted snapshot for ``key``.
+
+        Installing over existing state merges interval-wise (the incoming
+        snapshot wins on conflicts), which matches the at-most-once hand-off of
+        the pause/resume protocol.
+        """
+        for interval, payload, size in snapshot:
+            self.update(key, interval, payload, size)
+
+    def clear(self) -> None:
+        self._per_key.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KeyedState(window={self.window}, keys={len(self._per_key)})"

@@ -1,0 +1,148 @@
+"""Topology description: spouts, stages and the builder.
+
+The paper's workloads are pipelines of logical operators (word count:
+spout → counter; stock self-join: spout → join; TPC-H Q5: a chain of windowed
+joins and an aggregation).  A :class:`Topology` is an ordered list of
+:class:`PipelineStage` objects; each stage couples an
+:class:`~repro.engine.operator.OperatorLogic` with the
+:class:`~repro.baselines.base.Partitioner` that routes tuples into its tasks,
+plus the selectivity and re-keying function that describe the stream it emits
+to the next stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.baselines.base import Partitioner
+from repro.engine.operator import OperatorLogic
+
+__all__ = ["PipelineStage", "Topology", "TopologyBuilder"]
+
+Key = Hashable
+KeyMapper = Callable[[Key], Key]
+
+
+@dataclass
+class PipelineStage:
+    """One logical operator inside a topology.
+
+    Attributes
+    ----------
+    name:
+        Stage name (unique within the topology).
+    logic:
+        The operator behaviour (cost model, state model, processing function).
+    partitioner:
+        Routing strategy feeding this stage's tasks.
+    selectivity:
+        Output tuples emitted per processed input tuple (e.g. a filter has
+        selectivity < 1, a join usually > 1 on matching keys).
+    key_mapper:
+        Optional function re-keying output tuples for the next stage (e.g. the
+        TPC-H Q5 chain re-keys order tuples by customer key).
+    capacity_factor:
+        Per-stage override of the simulator's capacity factor (``None`` uses
+        the simulation default).
+    """
+
+    name: str
+    logic: OperatorLogic
+    partitioner: Partitioner
+    selectivity: float = 1.0
+    key_mapper: Optional[KeyMapper] = None
+    capacity_factor: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.selectivity < 0:
+            raise ValueError("selectivity must be non-negative")
+        if not self.name:
+            raise ValueError("stage name must be non-empty")
+
+    @property
+    def parallelism(self) -> int:
+        """Number of task instances of the stage."""
+        return self.partitioner.num_tasks
+
+    def map_key(self, key: Key) -> Key:
+        """Apply the re-keying function (identity when none is configured)."""
+        if self.key_mapper is None:
+            return key
+        return self.key_mapper(key)
+
+
+@dataclass
+class Topology:
+    """An ordered pipeline of stages fed by a single spout."""
+
+    name: str
+    stages: List[PipelineStage] = field(default_factory=list)
+    spout_parallelism: int = 10
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("topology name must be non-empty")
+        if self.spout_parallelism <= 0:
+            raise ValueError("spout_parallelism must be positive")
+        names = [stage.name for stage in self.stages]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate stage names in topology: {names}")
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def stage(self, name: str) -> PipelineStage:
+        """Look a stage up by name."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r} in topology {self.name!r}")
+
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+
+class TopologyBuilder:
+    """Fluent builder mirroring Storm's ``TopologyBuilder`` API."""
+
+    def __init__(self, name: str, spout_parallelism: int = 10) -> None:
+        self._name = name
+        self._spout_parallelism = spout_parallelism
+        self._stages: List[PipelineStage] = []
+
+    def add_stage(
+        self,
+        name: str,
+        logic: OperatorLogic,
+        partitioner: Partitioner,
+        *,
+        selectivity: float = 1.0,
+        key_mapper: Optional[KeyMapper] = None,
+        capacity_factor: Optional[float] = None,
+    ) -> "TopologyBuilder":
+        """Append a stage to the pipeline and return the builder (chainable)."""
+        self._stages.append(
+            PipelineStage(
+                name=name,
+                logic=logic,
+                partitioner=partitioner,
+                selectivity=selectivity,
+                key_mapper=key_mapper,
+                capacity_factor=capacity_factor,
+            )
+        )
+        return self
+
+    def build(self) -> Topology:
+        """Materialise the topology (at least one stage is required)."""
+        if not self._stages:
+            raise ValueError("a topology needs at least one stage")
+        return Topology(
+            name=self._name,
+            stages=list(self._stages),
+            spout_parallelism=self._spout_parallelism,
+        )

@@ -1,0 +1,36 @@
+"""Benchmark harness regenerating the paper's evaluation (Figs. 7–21).
+
+Each figure of the evaluation and appendix has a driver in
+:mod:`repro.experiments.figures` that sweeps the same parameter the paper does
+and returns an :class:`~repro.experiments.reporting.ExperimentResult` holding
+the series the figure plots.  The drivers accept a ``scale`` preset so that the
+pytest benchmarks can run them at laptop scale while the same code path scales
+up to paper-sized key domains.
+
+Quick use::
+
+    from repro.experiments import figures
+    result = figures.fig08_vary_task_instances(scale="small")
+    print(result.to_text())
+"""
+
+from repro.experiments.config import SCALES, ExperimentScale, get_scale
+from repro.experiments.harness import (
+    PlannerRun,
+    build_partitioner,
+    run_planner_sequence,
+    run_simulation,
+)
+from repro.experiments.reporting import ExperimentResult, format_table
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentScale",
+    "PlannerRun",
+    "SCALES",
+    "build_partitioner",
+    "format_table",
+    "get_scale",
+    "run_planner_sequence",
+    "run_simulation",
+]

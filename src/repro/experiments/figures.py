@@ -1,0 +1,957 @@
+"""One driver per figure of the paper's evaluation and appendix (Figs. 7–21).
+
+Every driver returns an :class:`~repro.experiments.reporting.ExperimentResult`
+whose rows are the data points of the corresponding figure.  The ``scale``
+argument selects a workload-size preset (see
+:mod:`repro.experiments.config`) — the "tiny" and "small" presets preserve the
+shape of the curves at laptop runtimes, the "paper" preset matches Tab. II.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import HashPartitioner
+from repro.core.load import load_from_costs, max_skewness
+from repro.experiments.config import ExperimentScale, get_scale
+from repro.experiments.harness import run_planner_sequence, run_simulation
+from repro.experiments.reporting import ExperimentResult
+from repro.operators import WindowedSelfJoin, WordCountOperator, build_q5_topology
+from repro.workloads import (
+    SocialFeedWorkload,
+    StockExchangeWorkload,
+    TPCHStreamWorkload,
+    ZipfWorkload,
+    generate_tpch,
+)
+
+__all__ = [
+    "fig07_hash_skewness",
+    "fig08_vary_task_instances",
+    "fig09_vary_theta",
+    "fig10_vary_key_domain",
+    "fig11_discretization",
+    "fig12_vary_fluctuation",
+    "fig13_throughput_latency",
+    "fig14_real_world_throughput",
+    "fig15_scale_out",
+    "fig16_tpch_q5",
+    "fig17_table_cap",
+    "fig18_table_growth",
+    "fig19_window_size",
+    "fig20_beta_table_size",
+    "fig21_beta_migration",
+    "ALL_FIGURES",
+]
+
+_PERCENTILES = (20, 40, 60, 80, 100)
+
+
+def _zipf_workload(
+    scale: ExperimentScale,
+    *,
+    num_keys: Optional[int] = None,
+    num_tasks: Optional[int] = None,
+    fluctuation: Optional[float] = None,
+    intervals: Optional[int] = None,
+    skew: Optional[float] = None,
+    seed: int = 0,
+) -> List[Dict[int, float]]:
+    """Materialise a Zipf workload with the scale's defaults and overrides."""
+    workload = ZipfWorkload(
+        num_keys=num_keys if num_keys is not None else scale.num_keys,
+        skew=skew if skew is not None else scale.skew,
+        tuples_per_interval=scale.tuples_per_interval,
+        fluctuation=fluctuation if fluctuation is not None else scale.fluctuation,
+        num_tasks=num_tasks if num_tasks is not None else scale.num_tasks,
+        intervals=intervals if intervals is not None else scale.intervals,
+        seed=seed,
+    )
+    return workload.take(intervals if intervals is not None else scale.intervals)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — workload skewness of pure hashing
+# ---------------------------------------------------------------------------
+
+
+def fig07_hash_skewness(
+    scale: str | ExperimentScale = "small",
+    *,
+    task_counts: Sequence[int] = (5, 10, 20, 40),
+    key_domains: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 7(a)/(b): CDF of per-interval workload skewness under hashing.
+
+    (a) varies the number of task instances at the default key-domain size;
+    (b) varies the key-domain size at the default task count.
+    """
+    scale = get_scale(scale)
+    if key_domains is None:
+        key_domains = (
+            max(scale.num_keys // 20, 100),
+            max(scale.num_keys // 10, 200),
+            scale.num_keys,
+            scale.num_keys * 10,
+        )
+    result = ExperimentResult(
+        figure="Fig. 7",
+        title="Cumulative distribution of workload skewness under hash-based routing",
+        parameters={"skew_z": scale.skew, "intervals": scale.intervals, "scale": scale.name},
+    )
+
+    def skew_samples(num_keys: int, num_tasks: int) -> List[float]:
+        partitioner = HashPartitioner(num_tasks, seed=seed)
+        samples: List[float] = []
+        for snapshot in _zipf_workload(
+            scale, num_keys=num_keys, num_tasks=num_tasks, fluctuation=0.5, seed=seed
+        ):
+            loads = load_from_costs(snapshot, partitioner.route, num_tasks)
+            samples.append(max_skewness(loads))
+        return samples
+
+    for num_tasks in task_counts:
+        samples = sorted(skew_samples(scale.num_keys, num_tasks))
+        for percentile in _PERCENTILES:
+            index = max(0, int(np.ceil(percentile / 100 * len(samples))) - 1)
+            result.add_row(
+                panel="a",
+                series=f"ND={num_tasks}",
+                percentile=percentile,
+                skewness=samples[index],
+            )
+    for num_keys in key_domains:
+        samples = sorted(skew_samples(num_keys, scale.num_tasks))
+        for percentile in _PERCENTILES:
+            index = max(0, int(np.ceil(percentile / 100 * len(samples))) - 1)
+            result.add_row(
+                panel="b",
+                series=f"K={num_keys}",
+                percentile=percentile,
+                skewness=samples[index],
+            )
+    result.notes = (
+        "Expected shape: skewness grows with the number of task instances and "
+        "shrinks as the key domain grows."
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figs. 8-10 — planner sweeps over N_D, theta_max and K (Mixed vs MinTable)
+# ---------------------------------------------------------------------------
+
+
+def _planner_sweep(
+    scale: ExperimentScale,
+    result: ExperimentResult,
+    *,
+    algorithms: Sequence[str],
+    windows: Sequence[int],
+    sweep_name: str,
+    sweep_values: Sequence,
+    num_tasks_of=None,
+    theta_of=None,
+    num_keys_of=None,
+    seed: int = 0,
+) -> ExperimentResult:
+    for value in sweep_values:
+        num_tasks = num_tasks_of(value) if num_tasks_of else scale.num_tasks
+        theta = theta_of(value) if theta_of else scale.theta_max
+        num_keys = num_keys_of(value) if num_keys_of else scale.num_keys
+        for window in windows:
+            workload = _zipf_workload(
+                scale, num_keys=num_keys, num_tasks=num_tasks, seed=seed
+            )
+            for algorithm in algorithms:
+                run = run_planner_sequence(
+                    algorithm,
+                    workload,
+                    num_tasks=num_tasks,
+                    theta_max=theta,
+                    max_table_size=scale.max_table_size,
+                    beta=scale.beta,
+                    window=window,
+                    seed=seed,
+                )
+                result.add_row(
+                    **{sweep_name: value},
+                    window=window,
+                    algorithm=algorithm,
+                    avg_generation_time_ms=run.avg_generation_time * 1e3,
+                    migration_cost_pct=run.avg_migration_fraction * 100,
+                    avg_table_size=run.avg_table_size,
+                    rebalances=run.rebalances,
+                )
+    return result
+
+
+def fig08_vary_task_instances(
+    scale: str | ExperimentScale = "small",
+    *,
+    task_counts: Sequence[int] = (5, 10, 20, 30, 40),
+    windows: Sequence[int] = (1, 5),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 8(a)/(b): plan-generation time and migration cost vs ``N_D``."""
+    scale = get_scale(scale)
+    result = ExperimentResult(
+        figure="Fig. 8",
+        title="Scheduling efficiency and migration cost with varying number of task instances",
+        parameters={"theta_max": scale.theta_max, "K": scale.num_keys, "scale": scale.name},
+        notes=(
+            "Expected shape: Mixed pays slightly more generation time than MinTable "
+            "but much lower migration cost until the table cap forces it towards "
+            "MinTable behaviour at large N_D."
+        ),
+    )
+    return _planner_sweep(
+        scale,
+        result,
+        algorithms=("mixed", "mintable"),
+        windows=windows,
+        sweep_name="num_tasks",
+        sweep_values=task_counts,
+        num_tasks_of=lambda value: value,
+        seed=seed,
+    )
+
+
+def fig09_vary_theta(
+    scale: str | ExperimentScale = "small",
+    *,
+    thetas: Sequence[float] = (0.02, 0.05, 0.08, 0.11, 0.14, 0.2, 0.3, 0.5),
+    windows: Sequence[int] = (1, 5),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 9(a)/(b): plan-generation time and migration cost vs ``θ_max``."""
+    scale = get_scale(scale)
+    result = ExperimentResult(
+        figure="Fig. 9",
+        title="Scheduling efficiency and migration cost with varying theta_max",
+        parameters={"N_D": scale.num_tasks, "K": scale.num_keys, "scale": scale.name},
+        notes=(
+            "Expected shape: both metrics shrink as theta_max is relaxed; MinTable "
+            "pays roughly 3x Mixed's migration cost at tight theta_max."
+        ),
+    )
+    return _planner_sweep(
+        scale,
+        result,
+        algorithms=("mixed", "mintable"),
+        windows=windows,
+        sweep_name="theta_max",
+        sweep_values=thetas,
+        theta_of=lambda value: value,
+        seed=seed,
+    )
+
+
+def fig10_vary_key_domain(
+    scale: str | ExperimentScale = "small",
+    *,
+    key_domains: Optional[Sequence[int]] = None,
+    windows: Sequence[int] = (1, 5),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 10(a)/(b): plan-generation time and migration cost vs ``K``."""
+    scale = get_scale(scale)
+    if key_domains is None:
+        key_domains = (
+            max(scale.num_keys // 20, 100),
+            max(scale.num_keys // 10, 200),
+            scale.num_keys,
+            scale.num_keys * 10,
+        )
+    result = ExperimentResult(
+        figure="Fig. 10",
+        title="Scheduling efficiency and migration cost under different key-domain sizes",
+        parameters={"N_D": scale.num_tasks, "theta_max": scale.theta_max, "scale": scale.name},
+        notes=(
+            "Expected shape: generation time grows with K; Mixed's migration cost "
+            "stays well below MinTable's across domain sizes."
+        ),
+    )
+    return _planner_sweep(
+        scale,
+        result,
+        algorithms=("mixed", "mintable"),
+        windows=windows,
+        sweep_name="num_keys",
+        sweep_values=key_domains,
+        num_keys_of=lambda value: value,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — compact representation / discretisation degree R
+# ---------------------------------------------------------------------------
+
+
+def fig11_discretization(
+    scale: str | ExperimentScale = "small",
+    *,
+    degrees: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+    thetas: Sequence[float] = (0.0, 0.02, 0.08, 0.15),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 11(a)/(b): planning time and load-estimation error vs degree ``R``.
+
+    Panel (a) includes the "original key space" point (no compaction) the paper
+    contrasts against; panel (b) reports the load-estimation error for several
+    ``θ_max`` values.
+    """
+    scale = get_scale(scale)
+    result = ExperimentResult(
+        figure="Fig. 11",
+        title="Compact representation: planning efficiency and load-estimation error vs R",
+        parameters={"N_D": scale.num_tasks, "K": scale.num_keys, "scale": scale.name},
+        notes=(
+            "Expected shape: generation time drops by roughly an order of magnitude "
+            "from the original key space to moderate R; the estimation error grows "
+            "with R but stays below 1%."
+        ),
+    )
+    workload = _zipf_workload(scale, seed=seed)
+
+    # Panel (a): generation time vs R (plus the uncompacted baseline).
+    baseline = run_planner_sequence(
+        "mixed",
+        workload,
+        num_tasks=scale.num_tasks,
+        theta_max=scale.theta_max,
+        max_table_size=scale.max_table_size,
+        window=scale.window,
+        use_compact=True,
+        discretization_degree=None,
+        seed=seed,
+    )
+    result.add_row(
+        panel="a",
+        degree="original-key-space",
+        avg_generation_time_ms=baseline.avg_generation_time * 1e3,
+        load_estimation_error_pct=baseline.avg_load_estimation_error * 100,
+    )
+    for degree in degrees:
+        run = run_planner_sequence(
+            "mixed",
+            workload,
+            num_tasks=scale.num_tasks,
+            theta_max=scale.theta_max,
+            max_table_size=scale.max_table_size,
+            window=scale.window,
+            use_compact=True,
+            discretization_degree=degree,
+            seed=seed,
+        )
+        result.add_row(
+            panel="a",
+            degree=degree,
+            avg_generation_time_ms=run.avg_generation_time * 1e3,
+            load_estimation_error_pct=run.avg_load_estimation_error * 100,
+        )
+
+    # Panel (b): estimation error vs R for several theta_max values.
+    for theta in thetas:
+        for degree in degrees:
+            run = run_planner_sequence(
+                "mixed",
+                workload,
+                num_tasks=scale.num_tasks,
+                theta_max=theta,
+                max_table_size=scale.max_table_size,
+                window=scale.window,
+                use_compact=True,
+                discretization_degree=degree,
+                force_every_interval=True,
+                seed=seed,
+            )
+            result.add_row(
+                panel="b",
+                theta_max=theta,
+                degree=degree,
+                load_estimation_error_pct=run.avg_load_estimation_error * 100,
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — planner comparison under varying fluctuation rate f
+# ---------------------------------------------------------------------------
+
+
+def fig12_vary_fluctuation(
+    scale: str | ExperimentScale = "small",
+    *,
+    fluctuations: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    algorithms: Sequence[str] = ("mixed", "mintable", "readj", "mixedbf"),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 12(a)/(b): generation time and migration cost vs fluctuation ``f``."""
+    scale = get_scale(scale)
+    result = ExperimentResult(
+        figure="Fig. 12",
+        title="Scheduling efficiency and migration cost with varying distribution change frequency",
+        parameters={"theta_max": 0.08, "K": scale.num_keys, "scale": scale.name},
+        notes=(
+            "Expected shape: Readj and MixedBF generation times are orders of "
+            "magnitude above Mixed/MinTable; Mixed's migration cost grows slowest "
+            "with f."
+        ),
+    )
+    for fluctuation in fluctuations:
+        workload = _zipf_workload(scale, fluctuation=fluctuation, seed=seed)
+        for algorithm in algorithms:
+            run = run_planner_sequence(
+                algorithm,
+                workload,
+                num_tasks=scale.num_tasks,
+                theta_max=0.08,
+                max_table_size=scale.max_table_size,
+                beta=scale.beta,
+                window=scale.window,
+                seed=seed,
+            )
+            result.add_row(
+                fluctuation=fluctuation,
+                algorithm=algorithm,
+                avg_generation_time_ms=run.avg_generation_time * 1e3,
+                migration_cost_pct=run.avg_migration_fraction * 100,
+                rebalances=run.rebalances,
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — throughput and latency vs fluctuation rate (simulation)
+# ---------------------------------------------------------------------------
+
+
+def fig13_throughput_latency(
+    scale: str | ExperimentScale = "small",
+    *,
+    fluctuations: Sequence[float] = (0.1, 0.5, 0.9, 1.3, 1.7, 2.0),
+    strategies: Sequence[str] = ("storm", "readj", "mixed", "ideal"),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 13(a)/(b): simulated throughput and latency vs fluctuation ``f``."""
+    scale = get_scale(scale)
+    result = ExperimentResult(
+        figure="Fig. 13",
+        title="Throughput and latency with varying distribution change frequency",
+        parameters={"theta_max": scale.theta_max, "scale": scale.name},
+        notes=(
+            "Expected shape: Ideal bounds everything from above; Mixed stays close "
+            "to Ideal while Readj and Storm degrade as f grows."
+        ),
+    )
+    for fluctuation in fluctuations:
+        workload = _zipf_workload(
+            scale,
+            fluctuation=fluctuation,
+            intervals=scale.sim_intervals,
+            seed=seed,
+        )
+        for strategy in strategies:
+            collector = run_simulation(
+                strategy,
+                workload,
+                WordCountOperator(window=scale.window),
+                num_tasks=scale.num_tasks,
+                theta_max=scale.theta_max,
+                max_table_size=scale.max_table_size,
+                window=scale.window,
+                seed=seed,
+            )
+            result.add_row(
+                fluctuation=fluctuation,
+                strategy=strategy,
+                throughput=collector.mean_throughput,
+                latency_ms=collector.mean_latency_ms,
+                skewness=collector.mean_skewness,
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — throughput on the Social and Stock workloads vs theta_max
+# ---------------------------------------------------------------------------
+
+
+def fig14_real_world_throughput(
+    scale: str | ExperimentScale = "small",
+    *,
+    thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 14(a)/(b): throughput on Social (word count) and Stock (self-join)."""
+    scale = get_scale(scale)
+    result = ExperimentResult(
+        figure="Fig. 14",
+        title="Throughput on real-world surrogate workloads vs theta_max",
+        parameters={"N_D": scale.num_tasks, "scale": scale.name},
+        notes=(
+            "Expected shape: Mixed leads on both workloads (best at the tightest "
+            "theta_max); PKG (Social only) is theta-insensitive but below Mixed; "
+            "Readj only catches up under loose balance requirements; MinTable "
+            "loses throughput to its migration volume."
+        ),
+    )
+    social = SocialFeedWorkload(
+        num_words=scale.num_keys,
+        tuples_per_interval=scale.tuples_per_interval,
+        intervals=scale.sim_intervals,
+        seed=seed,
+    ).take(scale.sim_intervals)
+    stock = StockExchangeWorkload(
+        tuples_per_interval=scale.tuples_per_interval,
+        intervals=scale.sim_intervals,
+        seed=seed,
+    ).take(scale.sim_intervals)
+
+    social_strategies = ("storm", "readj", "mixed", "pkg", "mintable")
+    stock_strategies = ("storm", "readj", "mixed", "mintable")
+    for theta in thetas:
+        for strategy in social_strategies:
+            collector = run_simulation(
+                strategy,
+                social,
+                WordCountOperator(window=scale.window),
+                num_tasks=scale.num_tasks,
+                theta_max=theta,
+                max_table_size=scale.max_table_size,
+                window=scale.window,
+                seed=seed,
+            )
+            result.add_row(
+                panel="a-social",
+                theta_max=theta,
+                strategy=strategy,
+                throughput=collector.mean_throughput,
+                latency_ms=collector.mean_latency_ms,
+            )
+        for strategy in stock_strategies:
+            collector = run_simulation(
+                strategy,
+                stock,
+                WindowedSelfJoin(window=max(scale.window, 2)),
+                num_tasks=scale.num_tasks,
+                theta_max=theta,
+                max_table_size=scale.max_table_size,
+                window=max(scale.window, 2),
+                seed=seed,
+            )
+            result.add_row(
+                panel="b-stock",
+                theta_max=theta,
+                strategy=strategy,
+                throughput=collector.mean_throughput,
+                latency_ms=collector.mean_latency_ms,
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15 — throughput over time during scale-out
+# ---------------------------------------------------------------------------
+
+
+def fig15_scale_out(
+    scale: str | ExperimentScale = "small",
+    *,
+    thetas: Sequence[float] = (0.1, 0.2),
+    strategies: Sequence[str] = ("mixed", "readj", "pkg", "storm"),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 15(a)/(b): throughput over time when one task instance is added."""
+    scale = get_scale(scale)
+    intervals = max(scale.sim_intervals, 12)
+    add_at = intervals // 3
+    result = ExperimentResult(
+        figure="Fig. 15",
+        title="Throughput dynamics during system scale-out (one task added)",
+        parameters={
+            "N_D": scale.num_tasks,
+            "added_at_interval": add_at,
+            "scale": scale.name,
+        },
+        notes=(
+            "Expected shape: Mixed re-balances onto the new instance within one "
+            "planning round; Readj takes much longer; Storm never uses the new "
+            "instance for existing keys."
+        ),
+    )
+    social = SocialFeedWorkload(
+        num_words=scale.num_keys,
+        tuples_per_interval=scale.tuples_per_interval,
+        intervals=intervals,
+        seed=seed,
+    ).take(intervals)
+    stock = StockExchangeWorkload(
+        tuples_per_interval=scale.tuples_per_interval,
+        intervals=intervals,
+        seed=seed,
+    ).take(intervals)
+
+    for panel, workload, logic, panel_strategies in (
+        ("a-social", social, WordCountOperator(window=scale.window), strategies),
+        (
+            "b-stock",
+            stock,
+            WindowedSelfJoin(window=max(scale.window, 2)),
+            tuple(s for s in strategies if s != "pkg"),
+        ),
+    ):
+        for theta in thetas:
+            for strategy in panel_strategies:
+                if strategy in ("storm", "pkg") and theta != thetas[0]:
+                    continue  # theta-insensitive strategies: one curve suffices
+                collector = run_simulation(
+                    strategy,
+                    workload,
+                    logic,
+                    num_tasks=scale.num_tasks,
+                    theta_max=theta,
+                    max_table_size=scale.max_table_size,
+                    window=logic.window,
+                    seed=seed,
+                    scale_out_at={add_at: scale.num_tasks + 1},
+                )
+                for record in collector:
+                    result.add_row(
+                        panel=panel,
+                        theta_max=theta,
+                        strategy=strategy,
+                        interval=record.interval,
+                        throughput=record.throughput,
+                        rebalanced=record.rebalanced,
+                    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16 — continuous TPC-H Q5 throughput over time
+# ---------------------------------------------------------------------------
+
+
+def fig16_tpch_q5(
+    scale: str | ExperimentScale = "small",
+    *,
+    thetas: Sequence[float] = (0.1, 0.2),
+    strategies: Sequence[str] = ("mixed", "readj", "storm", "mintable"),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 16(a)/(b): throughput of the continuous Q5 pipeline over time."""
+    from repro.engine import PipelineSimulator, SimulationConfig
+    from repro.experiments.harness import build_partitioner
+
+    scale = get_scale(scale)
+    intervals = max(scale.sim_intervals, 12)
+    change_every = max(3, intervals // 4)
+    dataset = generate_tpch(scale=0.002 if scale.name != "paper" else 0.05, seed=seed)
+    workload = TPCHStreamWorkload(
+        dataset,
+        tuples_per_interval=scale.tuples_per_interval // 2,
+        intervals=intervals,
+        change_every=change_every,
+        seed=seed,
+    ).take(intervals)
+
+    result = ExperimentResult(
+        figure="Fig. 16",
+        title="Dynamic adjustment on TPC-H data for continuous Q5",
+        parameters={
+            "z": 0.8,
+            "window": 5,
+            "change_every": change_every,
+            "scale": scale.name,
+        },
+        notes=(
+            "Expected shape: Mixed recovers quickly after every triggered "
+            "distribution change and sustains the best throughput; Storm has no "
+            "balancing and stays lowest."
+        ),
+    )
+    q5_window = 5
+    for theta in thetas:
+        for strategy in strategies:
+            def factory(stage_name: str, parallelism: int, _strategy=strategy, _theta=theta):
+                return build_partitioner(
+                    _strategy,
+                    parallelism,
+                    theta_max=_theta,
+                    max_table_size=scale.max_table_size,
+                    window=q5_window,
+                    seed=seed,
+                )
+
+            topology = build_q5_topology(
+                dataset,
+                factory,
+                parallelism=scale.num_tasks,
+                window=q5_window,
+            )
+            simulator = PipelineSimulator(
+                topology, SimulationConfig(capacity_factor=1.1)
+            )
+            run = simulator.run(workload)
+            for record in run.pipeline:
+                result.add_row(
+                    theta_max=theta,
+                    strategy=strategy,
+                    interval=record.interval,
+                    throughput=record.throughput,
+                    latency_ms=record.latency_ms,
+                )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figs. 17-21 — appendix parameter studies
+# ---------------------------------------------------------------------------
+
+
+def fig17_table_cap(
+    scale: str | ExperimentScale = "small",
+    *,
+    cap_exponents: Sequence[int] = (1, 3, 5, 7, 9, 11, 13),
+    thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 17: Mixed's migration cost vs the routing table cap ``N_A = 2^i``."""
+    scale = get_scale(scale)
+    result = ExperimentResult(
+        figure="Fig. 17",
+        title="Migration cost of Mixed under different routing-table caps",
+        parameters={"K": scale.num_keys, "scale": scale.name},
+        notes=(
+            "Expected shape: tight caps force Mixed to behave like MinTable "
+            "(high migration cost); relaxing the cap past the needed size drops "
+            "the cost sharply, earlier for looser theta_max."
+        ),
+    )
+    workload = _zipf_workload(scale, seed=seed)
+    for theta in thetas:
+        for exponent in cap_exponents:
+            cap = 2 ** exponent
+            run = run_planner_sequence(
+                "mixed",
+                workload,
+                num_tasks=scale.num_tasks,
+                theta_max=theta,
+                max_table_size=cap,
+                beta=scale.beta,
+                window=scale.window,
+                seed=seed,
+            )
+            result.add_row(
+                theta_max=theta,
+                cap_exponent=exponent,
+                table_cap=cap,
+                migration_cost_pct=run.avg_migration_fraction * 100,
+                avg_table_size=run.avg_table_size,
+            )
+    return result
+
+
+def fig18_table_growth(
+    scale: str | ExperimentScale = "small",
+    *,
+    adjustments: Optional[int] = None,
+    thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 18: MinMig's routing-table size as adjustments accumulate."""
+    scale = get_scale(scale)
+    adjustments = adjustments if adjustments is not None else max(scale.intervals, 12)
+    result = ExperimentResult(
+        figure="Fig. 18",
+        title="Routing table growth of MinMig along successive adjustments",
+        parameters={
+            "K": scale.num_keys,
+            "adjustments": adjustments,
+            "convergence_bound": (scale.num_tasks - 1) / scale.num_tasks * scale.num_keys,
+            "scale": scale.name,
+        },
+        notes=(
+            "Expected shape: the table grows fastest for the tightest theta_max and "
+            "converges towards (N_D-1)/N_D * K entries because MinMig never cleans."
+        ),
+    )
+    for theta in thetas:
+        workload = ZipfWorkload(
+            num_keys=scale.num_keys,
+            skew=scale.skew,
+            tuples_per_interval=scale.tuples_per_interval,
+            fluctuation=scale.fluctuation,
+            num_tasks=scale.num_tasks,
+            intervals=adjustments,
+            seed=seed,
+        ).take(adjustments)
+        run = run_planner_sequence(
+            "minmig",
+            workload,
+            num_tasks=scale.num_tasks,
+            theta_max=theta,
+            max_table_size=None,
+            beta=scale.beta,
+            window=scale.window,
+            force_every_interval=True,
+            seed=seed,
+        )
+        for adjustment, table_size in enumerate(run.table_sizes, start=1):
+            result.add_row(
+                theta_max=theta,
+                adjustment=adjustment,
+                routing_table_size=table_size,
+            )
+    return result
+
+
+def fig19_window_size(
+    scale: str | ExperimentScale = "small",
+    *,
+    windows: Sequence[int] = (1, 3, 5, 7, 9, 11, 13, 15),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 19: migration cost vs state window size ``w`` (Mixed vs MinTable)."""
+    scale = get_scale(scale)
+    result = ExperimentResult(
+        figure="Fig. 19",
+        title="Migration cost with varying window size",
+        parameters={"theta_max": scale.theta_max, "K": scale.num_keys, "scale": scale.name},
+        notes=(
+            "Expected shape: larger windows give Mixed more low-cost migration "
+            "candidates, so its cost stays below MinTable's at every w."
+        ),
+    )
+    for window in windows:
+        workload = _zipf_workload(scale, intervals=max(scale.intervals, window + 3), seed=seed)
+        for algorithm in ("mixed", "mintable"):
+            run = run_planner_sequence(
+                algorithm,
+                workload,
+                num_tasks=scale.num_tasks,
+                theta_max=scale.theta_max,
+                max_table_size=scale.max_table_size,
+                beta=scale.beta,
+                window=window,
+                seed=seed,
+            )
+            result.add_row(
+                window=window,
+                algorithm=algorithm,
+                migration_cost_pct=run.avg_migration_fraction * 100,
+            )
+    return result
+
+
+def _beta_sweep(
+    scale: ExperimentScale,
+    betas: Sequence[float],
+    thetas: Sequence[float],
+    seed: int,
+) -> List[Dict[str, float]]:
+    rows: List[Dict[str, float]] = []
+    workload = _zipf_workload(scale, seed=seed)
+    for theta in thetas:
+        for beta in betas:
+            run = run_planner_sequence(
+                "minmig",
+                workload,
+                num_tasks=scale.num_tasks,
+                theta_max=theta,
+                max_table_size=None,
+                beta=beta,
+                window=scale.window,
+                force_every_interval=True,
+                seed=seed,
+            )
+            rows.append(
+                {
+                    "theta_max": theta,
+                    "beta": beta,
+                    "routing_table_size": run.avg_table_size,
+                    "migration_cost_pct": run.avg_migration_fraction * 100,
+                }
+            )
+    return rows
+
+
+def fig20_beta_table_size(
+    scale: str | ExperimentScale = "small",
+    *,
+    betas: Sequence[float] = (1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0),
+    thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 20: routing-table size vs the γ weight β (MinMig)."""
+    scale = get_scale(scale)
+    result = ExperimentResult(
+        figure="Fig. 20",
+        title="Routing table size for different beta",
+        parameters={"K": scale.num_keys, "scale": scale.name},
+        notes=(
+            "Expected shape: larger beta prefers heavy keys, so fewer entries are "
+            "needed; the size stabilises for beta in [1.5, 2.0]."
+        ),
+    )
+    for row in _beta_sweep(scale, betas, thetas, seed):
+        result.add_row(
+            theta_max=row["theta_max"],
+            beta=row["beta"],
+            routing_table_size=row["routing_table_size"],
+        )
+    return result
+
+
+def fig21_beta_migration(
+    scale: str | ExperimentScale = "small",
+    *,
+    betas: Sequence[float] = (1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0),
+    thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Fig. 21: migration cost vs the γ weight β (MinMig)."""
+    scale = get_scale(scale)
+    result = ExperimentResult(
+        figure="Fig. 21",
+        title="Migration cost for different beta",
+        parameters={"K": scale.num_keys, "scale": scale.name},
+        notes=(
+            "Expected shape: migration cost grows with beta (heavier keys carry "
+            "more state); tight theta_max pays more at every beta."
+        ),
+    )
+    for row in _beta_sweep(scale, betas, thetas, seed):
+        result.add_row(
+            theta_max=row["theta_max"],
+            beta=row["beta"],
+            migration_cost_pct=row["migration_cost_pct"],
+        )
+    return result
+
+
+#: Registry used by the benchmark harness and the `examples/reproduce_all.py`
+#: script: figure id -> driver.
+ALL_FIGURES = {
+    "fig07": fig07_hash_skewness,
+    "fig08": fig08_vary_task_instances,
+    "fig09": fig09_vary_theta,
+    "fig10": fig10_vary_key_domain,
+    "fig11": fig11_discretization,
+    "fig12": fig12_vary_fluctuation,
+    "fig13": fig13_throughput_latency,
+    "fig14": fig14_real_world_throughput,
+    "fig15": fig15_scale_out,
+    "fig16": fig16_tpch_q5,
+    "fig17": fig17_table_cap,
+    "fig18": fig18_table_growth,
+    "fig19": fig19_window_size,
+    "fig20": fig20_beta_table_size,
+    "fig21": fig21_beta_migration,
+}

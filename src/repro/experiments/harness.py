@@ -1,0 +1,272 @@
+"""Shared machinery for the figure drivers.
+
+Two kinds of runs are needed:
+
+* *Planner sweeps* (Figs. 8–12, 17–21): only the rebalancing algorithms are
+  exercised — a synthetic workload is streamed through a controller (or a
+  baseline rebalancer) and the plan-generation time, migration cost and routing
+  table size are measured per adjustment.  No engine simulation is involved, so
+  these are fast and scale to large key domains.
+* *System simulations* (Figs. 13–16): a topology is run through the fluid
+  engine simulator and throughput/latency are measured.
+
+:func:`build_partitioner` maps the strategy names used throughout the
+evaluation ("storm", "readj", "mixed", "mintable", "pkg", "ideal") onto
+configured partitioner instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional
+
+from repro.baselines import (
+    DKGPartitioner,
+    HashPartitioner,
+    PartialKeyGrouping,
+    Partitioner,
+    ReadjPartitioner,
+    ShufflePartitioner,
+)
+from repro.core.assignment import AssignmentFunction
+from repro.core.compact import CompactMixedPlanner
+from repro.core.controller import ControllerConfig
+from repro.core.discretization import HLHEDiscretizer
+from repro.core.load import load_from_costs, max_balance_indicator
+from repro.core.planner import PlannerConfig, RebalanceResult, get_algorithm
+from repro.core.statistics import IntervalStats, StatisticsStore
+from repro.engine.metrics import MetricsCollector
+from repro.engine.operator import OperatorLogic
+from repro.engine.routing import MixedRoutingPartitioner
+from repro.engine.simulator import OperatorSimulator, SimulationConfig
+
+__all__ = [
+    "PlannerRun",
+    "run_planner_sequence",
+    "run_simulation",
+    "build_partitioner",
+    "STRATEGY_NAMES",
+]
+
+Key = Hashable
+WorkloadSnapshot = Mapping[Key, float]
+
+#: Strategy labels used by the figure drivers, matching the paper's legends.
+STRATEGY_NAMES = ("storm", "ideal", "pkg", "readj", "dkg", "mixed", "mintable", "minmig", "mixedbf")
+
+
+@dataclass
+class PlannerRun:
+    """Aggregated outcome of streaming a workload through one rebalancer."""
+
+    algorithm: str
+    rebalances: int = 0
+    generation_times: List[float] = field(default_factory=list)
+    migration_fractions: List[float] = field(default_factory=list)
+    table_sizes: List[int] = field(default_factory=list)
+    max_thetas: List[float] = field(default_factory=list)
+    load_estimation_errors: List[float] = field(default_factory=list)
+    skewness_before: List[float] = field(default_factory=list)
+
+    @staticmethod
+    def _mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def avg_generation_time(self) -> float:
+        """Average plan generation wall time in seconds."""
+        return self._mean(self.generation_times)
+
+    @property
+    def avg_migration_fraction(self) -> float:
+        """Average fraction of operator state migrated per adjustment."""
+        return self._mean(self.migration_fractions)
+
+    @property
+    def avg_table_size(self) -> float:
+        return self._mean([float(size) for size in self.table_sizes])
+
+    @property
+    def final_table_size(self) -> int:
+        return self.table_sizes[-1] if self.table_sizes else 0
+
+    @property
+    def avg_max_theta(self) -> float:
+        return self._mean(self.max_thetas)
+
+    @property
+    def avg_load_estimation_error(self) -> float:
+        return self._mean(self.load_estimation_errors)
+
+
+def run_planner_sequence(
+    algorithm: str,
+    workload: Iterable[WorkloadSnapshot],
+    *,
+    num_tasks: int,
+    theta_max: float = 0.08,
+    max_table_size: Optional[int] = None,
+    beta: float = 1.5,
+    window: int = 1,
+    use_compact: bool = False,
+    discretization_degree: Optional[int] = 8,
+    readj_sigma: float = 2.0,
+    seed: int = 0,
+    force_every_interval: bool = False,
+) -> PlannerRun:
+    """Stream interval snapshots through a rebalancer and collect planner metrics.
+
+    ``algorithm`` is one of the registered core algorithms (``"mixed"``,
+    ``"mintable"``, ``"minmig"``, ``"mixedbf"``, ``"simple"``), ``"readj"`` or
+    ``"dkg"``.  With ``use_compact`` the compact-representation Mixed planner
+    is used instead (``discretization_degree=None`` keeps the original key
+    space).  ``force_every_interval`` triggers a planning round even when the
+    operator is already balanced (used by the routing-table-growth experiment).
+    """
+    run = PlannerRun(algorithm=algorithm if not use_compact else "compact-mixed")
+
+    if algorithm in ("readj", "dkg"):
+        partitioner: Partitioner
+        if algorithm == "readj":
+            partitioner = ReadjPartitioner(
+                num_tasks, theta_max=theta_max, sigma=readj_sigma, window=window, seed=seed
+            )
+        else:
+            partitioner = DKGPartitioner(
+                num_tasks, theta_max=theta_max, window=window, seed=seed
+            )
+        for index, snapshot in enumerate(workload):
+            stats = IntervalStats.from_frequencies(index, dict(snapshot))
+            loads = load_from_costs(
+                {k: s.cost for k, s in stats.items()}, partitioner.route, num_tasks
+            )
+            run.skewness_before.append(max_balance_indicator(loads))
+            result = partitioner.on_interval_end(stats)
+            if result is not None:
+                _record(run, result)
+        return run
+
+    assignment = AssignmentFunction.hashed(num_tasks, seed=seed)
+    stats_store = StatisticsStore(window=window)
+    planner_config = PlannerConfig(
+        theta_max=theta_max,
+        max_table_size=max_table_size,
+        beta=beta,
+        window=window,
+    )
+    compact_planner = None
+    core_algorithm = None
+    if use_compact:
+        discretizer = (
+            HLHEDiscretizer(discretization_degree)
+            if discretization_degree is not None
+            else None
+        )
+        compact_planner = CompactMixedPlanner(discretizer)
+    else:
+        core_algorithm = get_algorithm(algorithm)
+
+    for index, snapshot in enumerate(workload):
+        stats = IntervalStats.from_frequencies(index, dict(snapshot))
+        stats_store.push(stats)
+        loads = load_from_costs(stats_store.cost_map(), assignment, num_tasks)
+        imbalance = max_balance_indicator(loads)
+        run.skewness_before.append(imbalance)
+        if not force_every_interval and imbalance <= theta_max:
+            continue
+        if compact_planner is not None:
+            outcome = compact_planner.plan(assignment, stats_store, planner_config)
+            result = outcome.result
+            run.load_estimation_errors.append(outcome.load_estimation_error)
+        else:
+            assert core_algorithm is not None
+            result = core_algorithm.plan(assignment, stats_store, planner_config)
+        assignment = result.assignment
+        _record(run, result)
+    return run
+
+
+def _record(run: PlannerRun, result: RebalanceResult) -> None:
+    run.rebalances += 1
+    run.generation_times.append(result.generation_time)
+    run.migration_fractions.append(result.migration_fraction)
+    run.table_sizes.append(result.table_size)
+    run.max_thetas.append(result.max_theta)
+
+
+def build_partitioner(
+    name: str,
+    num_tasks: int,
+    *,
+    theta_max: float = 0.08,
+    max_table_size: Optional[int] = None,
+    beta: float = 1.5,
+    window: int = 1,
+    seed: int = 0,
+    readj_sigma: float = 2.0,
+) -> Partitioner:
+    """Instantiate a strategy by its evaluation label.
+
+    Labels: ``storm`` (static hashing), ``ideal`` (shuffle), ``pkg``, ``readj``,
+    ``dkg`` and the mixed-routing controller variants ``mixed``, ``mintable``,
+    ``minmig``, ``mixedbf``.
+    """
+    name = name.lower()
+    if name == "storm":
+        return HashPartitioner(num_tasks, seed=seed)
+    if name == "ideal":
+        return ShufflePartitioner(num_tasks)
+    if name == "pkg":
+        return PartialKeyGrouping(num_tasks, seed=seed)
+    if name == "readj":
+        return ReadjPartitioner(
+            num_tasks, theta_max=theta_max, sigma=readj_sigma, window=window, seed=seed
+        )
+    if name == "dkg":
+        return DKGPartitioner(num_tasks, theta_max=theta_max, window=window, seed=seed)
+    if name in ("mixed", "mintable", "minmig", "mixedbf"):
+        config = ControllerConfig(
+            theta_max=theta_max,
+            max_table_size=max_table_size,
+            beta=beta,
+            window=window,
+            algorithm=name,
+        )
+        return MixedRoutingPartitioner(num_tasks, config, seed=seed)
+    raise KeyError(f"unknown strategy {name!r}; known: {STRATEGY_NAMES}")
+
+
+def run_simulation(
+    strategy: str,
+    workload: Iterable[WorkloadSnapshot],
+    logic: OperatorLogic,
+    *,
+    num_tasks: int,
+    theta_max: float = 0.08,
+    max_table_size: Optional[int] = None,
+    window: int = 1,
+    capacity_factor: float = 1.15,
+    interval_seconds: float = 10.0,
+    seed: int = 0,
+    scale_out_at: Optional[Mapping[int, int]] = None,
+) -> MetricsCollector:
+    """Run one strategy on one operator over the given workload."""
+    partitioner = build_partitioner(
+        strategy,
+        num_tasks,
+        theta_max=theta_max,
+        max_table_size=max_table_size,
+        window=window,
+        seed=seed,
+    )
+    simulator = OperatorSimulator(
+        partitioner,
+        logic,
+        SimulationConfig(
+            capacity_factor=capacity_factor, interval_seconds=interval_seconds
+        ),
+        name=logic.name,
+    )
+    collector = simulator.run(workload, scale_out_at=scale_out_at)
+    collector.label = strategy
+    return collector

@@ -1,0 +1,102 @@
+"""Result containers and plain-text reporting for the figure drivers.
+
+The original figures are plots; since this reproduction is judged on the shape
+of the series rather than on pixels, every driver returns an
+:class:`ExperimentResult` — a list of row dictionaries plus metadata — that can
+be rendered as an aligned text table (the "rows/series the paper reports").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.5f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], columns: Optional[List[str]] = None) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[idx]) for line in rendered))
+        for idx, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(width) for col, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(value.ljust(width) for value, width in zip(line, widths))
+        for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one figure driver."""
+
+    figure: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **values: Any) -> None:
+        """Append one data point."""
+        self.rows.append(dict(values))
+
+    def column(self, name: str) -> List[Any]:
+        """Extract a column across all rows (missing values become ``None``)."""
+        return [row.get(name) for row in self.rows]
+
+    def filter(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows matching every ``column=value`` criterion."""
+        return [
+            row
+            for row in self.rows
+            if all(row.get(column) == value for column, value in criteria.items())
+        ]
+
+    def series(self, group_column: str, x_column: str, y_column: str) -> Dict[Any, List[tuple]]:
+        """Group rows into ``{group: [(x, y), …]}`` series (figure-style view)."""
+        grouped: Dict[Any, List[tuple]] = {}
+        for row in self.rows:
+            grouped.setdefault(row.get(group_column), []).append(
+                (row.get(x_column), row.get(y_column))
+            )
+        return grouped
+
+    def to_text(self) -> str:
+        """Human-readable report: header, parameters, table, notes."""
+        lines = [f"{self.figure}: {self.title}"]
+        if self.parameters:
+            params = ", ".join(f"{key}={value}" for key, value in self.parameters.items())
+            lines.append(f"parameters: {params}")
+        lines.append(format_table(self.rows))
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,183 @@
+"""Windowed key aggregation, with and without key splitting.
+
+Two execution modes are provided:
+
+* :class:`WindowedAggregate` — the key-contiguous version: every tuple of a key
+  is processed by a single task, which maintains the full aggregate for the
+  window.  This is the mode the mixed-routing strategies use.
+* :class:`PartialWindowedAggregate` + :class:`MergeOperator` — the split-key
+  version required by PKG (Fig. 2(a) of the paper): each task only holds a
+  *partial* aggregate for the keys it happens to receive, and a downstream
+  merge operator combines the partials every ``merge_period`` milliseconds.
+  The merge stage is what costs PKG its extra latency and throughput in the
+  paper's comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, List, Optional
+
+from repro.engine.operator import OperatorLogic
+from repro.engine.state import KeyedState
+from repro.engine.tuples import StreamTuple
+
+__all__ = ["WindowedAggregate", "PartialWindowedAggregate", "MergeOperator"]
+
+Key = Hashable
+Reducer = Callable[[Any, Any], Any]
+
+
+def _default_reducer(accumulator: Any, value: Any) -> Any:
+    """Sum-like reduction treating ``None`` as the identity."""
+    if accumulator is None:
+        return value if value is not None else 1
+    if value is None:
+        return accumulator + 1
+    return accumulator + value
+
+
+class WindowedAggregate(OperatorLogic):
+    """Key-contiguous aggregation over a sliding window.
+
+    Parameters
+    ----------
+    reducer:
+        Function folding a tuple's value into the per-key accumulator.
+    window:
+        Intervals of state retained.
+    cost_per_tuple / state_per_tuple:
+        Fluid-model coefficients.
+    """
+
+    name = "windowed-aggregate"
+    stateful = True
+
+    def __init__(
+        self,
+        reducer: Optional[Reducer] = None,
+        window: int = 1,
+        cost_per_tuple: float = 1.0,
+        state_per_tuple: float = 1.0,
+    ) -> None:
+        if cost_per_tuple <= 0:
+            raise ValueError("cost_per_tuple must be positive")
+        if state_per_tuple < 0:
+            raise ValueError("state_per_tuple must be non-negative")
+        self.reducer = reducer if reducer is not None else _default_reducer
+        self.window = int(window)
+        self.cost_per_tuple = float(cost_per_tuple)
+        self.state_per_tuple = float(state_per_tuple)
+
+    def tuple_cost(self, key: Key, value: Any = None) -> float:
+        return self.cost_per_tuple
+
+    def state_delta(self, key: Key, value: Any = None) -> float:
+        return self.state_per_tuple
+
+    def process(
+        self, tup: StreamTuple, state: KeyedState, task_id: int
+    ) -> List[StreamTuple]:
+        aggregate = state.accumulate(
+            tup.key,
+            tup.interval,
+            self.state_per_tuple,
+            payload_update=lambda old: self.reducer(old, tup.value),
+        )
+        return [
+            StreamTuple(key=tup.key, value=aggregate, interval=tup.interval, stream="aggregates")
+        ]
+
+    def windowed_value(self, state: KeyedState, key: Key) -> Any:
+        """Fold the per-interval aggregates of ``key`` across the window."""
+        result: Any = None
+        for payload in state.payloads(key):
+            result = self.reducer(result, payload)
+        return result
+
+
+class PartialWindowedAggregate(WindowedAggregate):
+    """The upstream half of the PKG execution mode.
+
+    Behaviourally identical to :class:`WindowedAggregate`, but each task only
+    sees the share of a key's tuples the splitter routed to it, so its state is
+    a *partial* aggregate.  Emitted tuples are tagged with the producing task
+    so the merger can deduplicate.
+    """
+
+    name = "partial-aggregate"
+
+    def process(
+        self, tup: StreamTuple, state: KeyedState, task_id: int
+    ) -> List[StreamTuple]:
+        partial = state.accumulate(
+            tup.key,
+            tup.interval,
+            self.state_per_tuple,
+            payload_update=lambda old: self.reducer(old, tup.value),
+        )
+        return [
+            StreamTuple(
+                key=tup.key,
+                value=(task_id, partial),
+                interval=tup.interval,
+                stream="partials",
+            )
+        ]
+
+    def merge_overhead(self, distinct_partials: int) -> float:
+        # One merge unit of work per (key, task) partial produced this interval.
+        return float(distinct_partials)
+
+
+class MergeOperator(OperatorLogic):
+    """Downstream merger combining the partial aggregates of a key.
+
+    Keys are routed to the merger by plain hashing (every partial of a key must
+    meet at a single merger task), so the merger itself is a stateful
+    key-contiguous operator — the extra hop PKG cannot avoid.
+    """
+
+    name = "merge"
+    stateful = True
+
+    def __init__(
+        self,
+        reducer: Optional[Reducer] = None,
+        window: int = 1,
+        cost_per_partial: float = 1.0,
+    ) -> None:
+        if cost_per_partial <= 0:
+            raise ValueError("cost_per_partial must be positive")
+        self.reducer = reducer if reducer is not None else _default_reducer
+        self.window = int(window)
+        self.cost_per_partial = float(cost_per_partial)
+
+    def tuple_cost(self, key: Key, value: Any = None) -> float:
+        return self.cost_per_partial
+
+    def state_delta(self, key: Key, value: Any = None) -> float:
+        # The merger only keeps the combined aggregate per key, not the tuples.
+        return 0.1
+
+    def process(
+        self, tup: StreamTuple, state: KeyedState, task_id: int
+    ) -> List[StreamTuple]:
+        if isinstance(tup.value, tuple) and len(tup.value) == 2:
+            source_task, partial = tup.value
+        else:  # plain value (e.g. unit test feeding raw numbers)
+            source_task, partial = 0, tup.value
+
+        def update(old: Optional[Dict[int, Any]]) -> Dict[int, Any]:
+            merged = dict(old) if old else {}
+            merged[source_task] = partial
+            return merged
+
+        partials = state.accumulate(
+            tup.key, tup.interval, self.state_delta(tup.key), payload_update=update
+        )
+        combined: Any = None
+        for value in partials.values():
+            combined = self.reducer(combined, value)
+        return [
+            StreamTuple(key=tup.key, value=combined, interval=tup.interval, stream="merged")
+        ]

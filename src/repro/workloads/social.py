@@ -1,0 +1,132 @@
+"""Social-feed surrogate workload.
+
+The paper's Social dataset is a 5-day crawl of a microblog service: ~5 million
+feeds whose words (≈180,000 distinct topic words) are the keys of the word
+count topology.  Its defining property for the evaluation is that "the word
+frequency in Social data usually changes slowly".
+
+The surrogate draws word frequencies from a heavy-tailed (Zipf) popularity
+distribution and lets the *ranking* of the words drift slowly across intervals:
+every interval a small fraction of adjacent ranks swap, and occasionally a
+"trending" word rises sharply over several intervals — slow evolution with the
+occasional emerging topic, but no abrupt global change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["SocialFeedWorkload"]
+
+
+class SocialFeedWorkload:
+    """Slowly drifting heavy-tailed word-frequency stream.
+
+    Parameters
+    ----------
+    num_words:
+        Key-domain size (distinct topic words); default scaled down from the
+        paper's 180k so that laptop-scale runs stay fast.
+    tuples_per_interval:
+        Words observed per interval (one interval = one day in the paper; the
+        simulator's interval length is orthogonal).
+    skew:
+        Zipf exponent of word popularity.
+    drift_rate:
+        Fraction of adjacent rank pairs swapped each interval (slow drift).
+    trend_probability:
+        Probability that a new trending word starts rising in a given interval.
+    trend_boost:
+        Multiplicative popularity boost a trending word gains per interval
+        while the trend lasts.
+    trend_duration:
+        Number of intervals a trend lasts.
+    intervals:
+        Number of intervals to generate (``None`` = unbounded).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        num_words: int = 20_000,
+        tuples_per_interval: int = 100_000,
+        skew: float = 0.9,
+        drift_rate: float = 0.02,
+        trend_probability: float = 0.3,
+        trend_boost: float = 2.0,
+        trend_duration: int = 3,
+        intervals: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_words <= 0 or tuples_per_interval < 0:
+            raise ValueError("num_words must be positive and tuples_per_interval >= 0")
+        if not 0 <= drift_rate <= 1:
+            raise ValueError("drift_rate must be in [0, 1]")
+        if not 0 <= trend_probability <= 1:
+            raise ValueError("trend_probability must be in [0, 1]")
+        if trend_boost < 1:
+            raise ValueError("trend_boost must be >= 1")
+        if trend_duration < 1:
+            raise ValueError("trend_duration must be >= 1")
+        self.num_words = int(num_words)
+        self.tuples_per_interval = int(tuples_per_interval)
+        self.skew = float(skew)
+        self.drift_rate = float(drift_rate)
+        self.trend_probability = float(trend_probability)
+        self.trend_boost = float(trend_boost)
+        self.trend_duration = int(trend_duration)
+        self.intervals = intervals
+        self.seed = int(seed)
+
+    def __iter__(self) -> Iterator[Dict[str, float]]:
+        rng = np.random.default_rng(self.seed)
+        ranks = np.arange(1, self.num_words + 1, dtype=np.float64)
+        weights = ranks ** (-self.skew)
+        # word index -> current rank position (permutation drifts slowly)
+        permutation = np.arange(self.num_words)
+        trends: List[List[int]] = []  # [word, remaining intervals]
+
+        produced = 0
+        while self.intervals is None or produced < self.intervals:
+            # Slow drift: swap a small fraction of adjacent rank pairs.
+            num_swaps = int(self.drift_rate * self.num_words)
+            if num_swaps:
+                positions = rng.integers(0, self.num_words - 1, size=num_swaps)
+                for pos in positions:
+                    permutation[[pos, pos + 1]] = permutation[[pos + 1, pos]]
+
+            # Occasionally start a trend on a previously unpopular word.
+            if rng.random() < self.trend_probability:
+                word = int(rng.integers(self.num_words // 2, self.num_words))
+                trends.append([word, self.trend_duration])
+
+            boosts = np.ones(self.num_words)
+            still_active: List[List[int]] = []
+            for word, remaining in trends:
+                age = self.trend_duration - remaining + 1
+                boosts[word] *= self.trend_boost ** age
+                if remaining > 1:
+                    still_active.append([word, remaining - 1])
+            trends = still_active
+
+            current = weights[np.argsort(permutation)] * boosts
+            current = current / current.sum()
+            counts = rng.multinomial(self.tuples_per_interval, current)
+            yield {
+                f"word{word}": float(count)
+                for word, count in enumerate(counts)
+                if count > 0
+            }
+            produced += 1
+
+    def take(self, intervals: int) -> List[Dict[str, float]]:
+        """Materialise the first ``intervals`` snapshots."""
+        result: List[Dict[str, float]] = []
+        for snapshot in self:
+            result.append(snapshot)
+            if len(result) >= intervals:
+                break
+        return result

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+import pytest
+
+from repro.core.assignment import AssignmentFunction
+from repro.core.statistics import IntervalStats, StatisticsStore
+
+
+@pytest.fixture
+def skewed_frequencies() -> Dict[str, float]:
+    """A 200-key snapshot with three dominant hot keys (deterministic)."""
+    rng = random.Random(0)
+    freqs = {f"k{i}": float(rng.randint(1, 20)) for i in range(200)}
+    freqs["k0"] = 1000.0
+    freqs["k1"] = 800.0
+    freqs["k2"] = 600.0
+    return freqs
+
+
+@pytest.fixture
+def skewed_store(skewed_frequencies) -> StatisticsStore:
+    """A one-interval statistics store built from the skewed snapshot."""
+    store = StatisticsStore(window=1)
+    store.push(IntervalStats.from_frequencies(1, skewed_frequencies))
+    return store
+
+
+@pytest.fixture
+def hashed_assignment() -> AssignmentFunction:
+    """A fresh mixed assignment over 5 tasks with an empty routing table."""
+    return AssignmentFunction.hashed(5, seed=42)

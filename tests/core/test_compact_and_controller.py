@@ -1,0 +1,199 @@
+"""Tests for the compact representation, the adapted Mixed planner and the controller."""
+
+import random
+
+import pytest
+
+from repro.core.assignment import AssignmentFunction
+from repro.core.compact import (
+    CompactMixedPlanner,
+    CompactRecord,
+    CompactStatistics,
+    load_estimation_error,
+)
+from repro.core.controller import ControllerConfig, RebalanceController
+from repro.core.discretization import HLHEDiscretizer
+from repro.core.load import load_from_costs, max_balance_indicator
+from repro.core.planner import PlannerConfig
+from repro.core.statistics import IntervalStats, StatisticsStore
+
+
+def _skewed(num_keys=200, seed=0):
+    rng = random.Random(seed)
+    freqs = {f"k{i}": float(rng.randint(1, 20)) for i in range(num_keys)}
+    freqs["k0"], freqs["k1"], freqs["k2"] = 900.0, 700.0, 500.0
+    return freqs
+
+
+def _store(freqs, window=1):
+    store = StatisticsStore(window=window)
+    store.push(IntervalStats.from_frequencies(1, freqs))
+    return store
+
+
+class TestCompactRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompactRecord(0, 0, 0, -1.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            CompactRecord(0, 0, 0, 1.0, 1.0, -1)
+
+    def test_split(self):
+        record = CompactRecord(None, 1, 2, 4.0, 8.0, 10)
+        taken, rest = record.split(3)
+        assert taken.count == 3 and rest.count == 7
+        assert taken.total_cost == 12.0 and rest.total_memory == 56.0
+        with pytest.raises(ValueError):
+            record.split(11)
+
+    def test_signature_and_flags(self):
+        explicit = CompactRecord(1, 1, 2, 4.0, 8.0, 5)
+        implicit = CompactRecord(2, 2, 2, 4.0, 8.0, 5)
+        assert explicit.is_explicit and not implicit.is_explicit
+        assert explicit.signature == (1, 2, 4.0, 8.0)
+
+
+class TestCompactStatistics:
+    def test_grouping_counts_every_key(self):
+        store = _store(_skewed())
+        assignment = AssignmentFunction.hashed(5, seed=42)
+        compact = CompactStatistics.from_stats(store, assignment, HLHEDiscretizer(8))
+        assert compact.total_keys() == len(store.cost_map())
+        # Records group many keys, so there are far fewer records than keys.
+        assert len(compact) < compact.total_keys()
+
+    def test_no_discretizer_means_exact_costs(self):
+        store = _store(_skewed())
+        assignment = AssignmentFunction.hashed(5, seed=42)
+        compact = CompactStatistics.from_stats(store, assignment, None)
+        estimated = compact.estimated_loads()
+        actual = load_from_costs(store.cost_map(), assignment, 5)
+        for task in range(5):
+            assert estimated[task] == pytest.approx(actual[task])
+
+    def test_estimated_loads_close_with_discretizer(self):
+        store = _store(_skewed())
+        assignment = AssignmentFunction.hashed(5, seed=42)
+        compact = CompactStatistics.from_stats(store, assignment, HLHEDiscretizer(8))
+        estimated = compact.estimated_loads()
+        actual = load_from_costs(store.cost_map(), assignment, 5)
+        assert load_estimation_error(estimated, actual) < 0.05
+
+
+class TestCompactMixedPlanner:
+    def test_rebalances(self):
+        store = _store(_skewed())
+        assignment = AssignmentFunction.hashed(5, seed=42)
+        before = max_balance_indicator(load_from_costs(store.cost_map(), assignment, 5))
+        outcome = CompactMixedPlanner(HLHEDiscretizer(8)).plan(
+            assignment, store, PlannerConfig(theta_max=0.1, max_table_size=200)
+        )
+        assert outcome.result.max_theta < before
+        assert outcome.record_count > 0
+        assert outcome.result.generation_time > 0
+        assert 0 <= outcome.load_estimation_error < 0.05
+
+    def test_coarser_degree_fewer_records(self):
+        store = _store(_skewed(num_keys=500))
+        assignment = AssignmentFunction.hashed(5, seed=42)
+        fine = CompactMixedPlanner(HLHEDiscretizer(1)).plan(
+            assignment, store, PlannerConfig(theta_max=0.1)
+        )
+        coarse = CompactMixedPlanner(HLHEDiscretizer(64)).plan(
+            assignment, store, PlannerConfig(theta_max=0.1)
+        )
+        assert coarse.record_count <= fine.record_count
+
+    def test_migration_matches_assignment_change(self):
+        store = _store(_skewed())
+        assignment = AssignmentFunction.hashed(5, seed=42)
+        outcome = CompactMixedPlanner(HLHEDiscretizer(8)).plan(
+            assignment, store, PlannerConfig(theta_max=0.1)
+        )
+        observed = set(store.cost_map())
+        delta = {
+            key
+            for key in observed
+            if assignment(key) != outcome.result.assignment(key)
+        }
+        assert delta == outcome.result.migrated_keys
+
+
+class TestLoadEstimationError:
+    def test_zero_for_exact(self):
+        assert load_estimation_error({0: 10.0}, {0: 10.0}) == 0.0
+
+    def test_skips_empty_tasks(self):
+        assert load_estimation_error({0: 10.0, 1: 99.0}, {0: 10.0, 1: 0.0}) == 0.0
+
+    def test_average_relative_error(self):
+        error = load_estimation_error({0: 11.0, 1: 9.0}, {0: 10.0, 1: 10.0})
+        assert error == pytest.approx(0.1)
+
+
+class TestRebalanceController:
+    def test_requires_observation_before_rebalance(self):
+        controller = RebalanceController(AssignmentFunction.hashed(5, seed=1))
+        with pytest.raises(RuntimeError):
+            controller.rebalance()
+        assert controller.maybe_rebalance() is None
+
+    def test_triggers_only_when_imbalanced(self):
+        controller = RebalanceController(
+            AssignmentFunction.hashed(5, seed=1),
+            ControllerConfig(theta_max=0.2),
+        )
+        controller.observe(
+            IntervalStats.from_frequencies(1, {f"k{i}": 10 for i in range(5000)})
+        )
+        assert controller.current_imbalance() < 0.2
+        assert controller.maybe_rebalance() is None
+        controller.observe(IntervalStats.from_frequencies(2, _skewed()))
+        result = controller.maybe_rebalance()
+        assert result is not None
+        assert controller.history == [result]
+        assert controller.assignment is result.assignment
+
+    def test_cooldown_blocks_back_to_back_rebalances(self):
+        controller = RebalanceController(
+            AssignmentFunction.hashed(5, seed=1),
+            ControllerConfig(theta_max=0.01, cooldown_intervals=2),
+        )
+        controller.observe(IntervalStats.from_frequencies(1, _skewed(seed=1)))
+        assert controller.maybe_rebalance() is not None
+        controller.observe(IntervalStats.from_frequencies(2, _skewed(seed=2)))
+        assert controller.maybe_rebalance() is None  # cooling down
+        controller.observe(IntervalStats.from_frequencies(3, _skewed(seed=3)))
+        assert controller.maybe_rebalance() is None
+        controller.observe(IntervalStats.from_frequencies(4, _skewed(seed=4)))
+        assert controller.maybe_rebalance() is not None
+
+    def test_compact_controller_path(self):
+        controller = RebalanceController(
+            AssignmentFunction.hashed(5, seed=1),
+            ControllerConfig(theta_max=0.1, use_compact=True, discretization_degree=8),
+        )
+        controller.observe(IntervalStats.from_frequencies(1, _skewed()))
+        result = controller.maybe_rebalance()
+        assert result is not None
+        assert result.algorithm == "compact-mixed"
+
+    def test_reporting_properties(self):
+        controller = RebalanceController(
+            AssignmentFunction.hashed(5, seed=1), ControllerConfig(theta_max=0.05)
+        )
+        assert controller.average_generation_time == 0.0
+        controller.observe(IntervalStats.from_frequencies(1, _skewed()))
+        controller.rebalance()
+        assert controller.average_generation_time > 0
+        assert controller.total_migrated_state > 0
+        assert controller.current_skewness() >= 1.0
+
+    def test_algorithm_selection(self):
+        controller = RebalanceController(
+            AssignmentFunction.hashed(5, seed=1),
+            ControllerConfig(theta_max=0.05, algorithm="mintable"),
+        )
+        controller.observe(IntervalStats.from_frequencies(1, _skewed()))
+        result = controller.rebalance()
+        assert result.algorithm == "mintable"

@@ -1,0 +1,125 @@
+"""Tests for the universal hash and the consistent-hash ring."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import ConsistentHashRing, UniversalHash, fnv1a_64, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_across_instances(self):
+        assert stable_hash("alpha", seed=3) == stable_hash("alpha", seed=3)
+
+    def test_seed_changes_hash(self):
+        assert stable_hash("alpha", seed=1) != stable_hash("alpha", seed=2)
+
+    def test_distinct_types_do_not_collide_trivially(self):
+        assert stable_hash(1) != stable_hash("1")
+        assert stable_hash(True) != stable_hash(1)
+
+    def test_tuple_keys_supported(self):
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+        assert stable_hash(("a", 1)) != stable_hash(("a", 2))
+
+    def test_fnv_known_property(self):
+        # Same bytes, same seed -> same value; empty input is the offset basis mix.
+        assert fnv1a_64(b"abc") == fnv1a_64(b"abc")
+        assert fnv1a_64(b"") != fnv1a_64(b"a")
+
+    @given(st.one_of(st.integers(), st.text(), st.floats(allow_nan=False), st.booleans()))
+    @settings(max_examples=100)
+    def test_hash_is_stable_for_any_key(self, key):
+        assert stable_hash(key) == stable_hash(key)
+
+
+class TestUniversalHash:
+    def test_range(self):
+        hash_fn = UniversalHash(7, seed=1)
+        for key in range(1000):
+            assert 0 <= hash_fn(key) < 7
+
+    def test_invalid_num_tasks(self):
+        with pytest.raises(ValueError):
+            UniversalHash(0)
+
+    def test_equality_and_with_num_tasks(self):
+        a = UniversalHash(5, seed=2)
+        b = UniversalHash(5, seed=2)
+        assert a == b and hash(a) == hash(b)
+        c = a.with_num_tasks(9)
+        assert c.num_tasks == 9 and c.seed == 2
+
+    def test_reasonable_balance_over_many_keys(self):
+        hash_fn = UniversalHash(10, seed=0)
+        counts = [0] * 10
+        for key in range(20_000):
+            counts[hash_fn(key)] += 1
+        assert max(counts) / min(counts) < 1.2
+
+    def test_candidates_distinct(self):
+        hash_fn = UniversalHash(10, seed=0)
+        for key in range(100):
+            candidates = hash_fn.candidates(key, 2)
+            assert len(candidates) == 2
+            assert len(set(candidates)) == 2
+
+    def test_candidates_more_than_tasks(self):
+        hash_fn = UniversalHash(2, seed=0)
+        assert sorted(hash_fn.candidates("x", 5)) == [0, 1]
+
+    def test_candidates_invalid(self):
+        with pytest.raises(ValueError):
+            UniversalHash(3).candidates("x", 0)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers())
+    @settings(max_examples=100)
+    def test_always_in_range(self, num_tasks, key):
+        assert 0 <= UniversalHash(num_tasks)(key) < num_tasks
+
+
+class TestConsistentHashRing:
+    def test_routes_within_tasks(self):
+        ring = ConsistentHashRing(range(4), replicas=32)
+        for key in range(500):
+            assert ring(key) in range(4)
+
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+
+    def test_duplicate_task_rejected(self):
+        ring = ConsistentHashRing([0, 1])
+        with pytest.raises(ValueError):
+            ring.add_task(1)
+
+    def test_remove_unknown_task(self):
+        ring = ConsistentHashRing([0, 1])
+        with pytest.raises(KeyError):
+            ring.remove_task(7)
+
+    def test_adding_task_moves_limited_keys(self):
+        ring = ConsistentHashRing(range(5), replicas=64, seed=1)
+        before = {key: ring(key) for key in range(5_000)}
+        ring.add_task(5)
+        after = {key: ring(key) for key in range(5_000)}
+        moved = sum(1 for key in before if before[key] != after[key])
+        # Consistent hashing should move roughly 1/6 of the keys, never most.
+        assert moved < len(before) * 0.4
+        # Every key that moved must have moved to the new task.
+        assert all(after[key] == 5 for key in before if before[key] != after[key])
+
+    def test_remove_task_restores_previous_owners(self):
+        ring = ConsistentHashRing(range(5), replicas=64, seed=1)
+        before = {key: ring(key) for key in range(2_000)}
+        ring.add_task(5)
+        ring.remove_task(5)
+        after = {key: ring(key) for key in range(2_000)}
+        assert before == after
+
+    def test_reasonable_balance(self):
+        ring = ConsistentHashRing(range(8), replicas=128, seed=3)
+        counts = [0] * 8
+        for key in range(40_000):
+            counts[ring(key)] += 1
+        assert max(counts) / min(counts) < 2.0

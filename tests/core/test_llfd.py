@@ -1,0 +1,194 @@
+"""Tests for the LLFD subroutine (Algorithm 1) and the Simple algorithm (Algorithm 5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.criteria import HighestCostFirst
+from repro.core.hashing import UniversalHash
+from repro.core.llfd import least_load_fit_decreasing
+from repro.core.load import max_balance_indicator
+from repro.core.simple import simple_assign
+
+
+def _hash(num_tasks: int, seed: int = 0) -> UniversalHash:
+    return UniversalHash(num_tasks, seed=seed)
+
+
+class TestPaperRunningExample:
+    """The Fig. 4 example: d1 holds k1,k2,k5 (7,4,5); d2 holds k3,k4,k6 (2,1,1)."""
+
+    costs = {"k1": 7.0, "k2": 4.0, "k3": 2.0, "k4": 1.0, "k5": 5.0, "k6": 1.0}
+
+    def test_llfd_reaches_perfect_balance(self):
+        # Re-place every key (the MinTable-style run on the right of Fig. 4).
+        result = least_load_fit_decreasing(
+            candidates=set(self.costs),
+            assignment={},
+            costs=self.costs,
+            memories={key: cost for key, cost in self.costs.items()},
+            num_tasks=2,
+            theta_max=0.0,
+            hash_function=lambda key: 0,
+        )
+        assert result.balanced
+        loads = sorted(result.loads.values())
+        assert loads == [10.0, 10.0]
+
+    def test_llfd_with_exchange_from_partial_candidates(self):
+        # Only k1 is disassociated from the overloaded d1; LLFD must use the
+        # Adjust exchange to push k3/k4 around, as the paper narrates.
+        assignment = {"k2": 0, "k5": 0, "k3": 1, "k4": 1, "k6": 1}
+        result = least_load_fit_decreasing(
+            candidates={"k1"},
+            assignment=assignment,
+            costs=self.costs,
+            memories=self.costs,
+            num_tasks=2,
+            theta_max=0.0,
+            hash_function=lambda key: 0,
+            criteria=HighestCostFirst(),
+        )
+        assert result.balanced
+        assert sorted(result.loads.values()) == [10.0, 10.0]
+        assert result.exchanges >= 1
+        # Every key has exactly one destination.
+        assert set(result.placements) == set(self.costs)
+
+
+class TestLLFDGeneral:
+    def test_empty_candidates_is_noop(self):
+        assignment = {"a": 0, "b": 1}
+        costs = {"a": 3.0, "b": 3.0}
+        result = least_load_fit_decreasing(
+            set(), assignment, costs, costs, 2, 0.1, lambda key: 0
+        )
+        assert result.placements == assignment
+        assert result.balanced
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            least_load_fit_decreasing(set(), {}, {}, {}, 0, 0.1, lambda key: 0)
+        with pytest.raises(ValueError):
+            least_load_fit_decreasing(set(), {}, {}, {}, 2, -0.1, lambda key: 0)
+
+    def test_invalid_assignment_destination(self):
+        with pytest.raises(ValueError):
+            least_load_fit_decreasing(
+                set(), {"a": 7}, {"a": 1.0}, {}, 2, 0.1, lambda key: 0
+            )
+
+    def test_routing_entries_only_for_non_hash_destinations(self):
+        hash_fn = _hash(4, seed=3)
+        costs = {key: 1.0 for key in range(40)}
+        result = least_load_fit_decreasing(
+            set(costs), {}, costs, costs, 4, 0.5, hash_fn
+        )
+        for key, task in result.routing_entries.items():
+            assert hash_fn(key) != task
+        for key, task in result.placements.items():
+            if key not in result.routing_entries:
+                assert hash_fn(key) == task
+
+    def test_single_huge_key_forces_fallback_but_terminates(self):
+        costs = {"huge": 100.0, "a": 1.0, "b": 1.0}
+        result = least_load_fit_decreasing(
+            set(costs), {}, costs, costs, 2, 0.0, lambda key: 0
+        )
+        # Perfect balance is impossible: the giant key breaches the ceiling.
+        assert not result.balanced
+        assert set(result.placements) == set(costs)
+
+    def test_base_loads_respected(self):
+        costs = {"a": 5.0}
+        result = least_load_fit_decreasing(
+            {"a"},
+            {},
+            costs,
+            costs,
+            2,
+            1.0,
+            lambda key: 0,
+            base_loads={0: 100.0, 1: 0.0},
+        )
+        assert result.placements["a"] == 1
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 200), st.floats(min_value=1.0, max_value=50.0),
+            min_size=4, max_size=120,
+        ),
+        st.integers(2, 8),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_keys_placed_and_loads_consistent(self, costs, num_tasks, theta):
+        hash_fn = _hash(num_tasks, seed=1)
+        result = least_load_fit_decreasing(
+            set(costs), {}, costs, costs, num_tasks, theta, hash_fn
+        )
+        assert set(result.placements) == set(costs)
+        rebuilt = {task: 0.0 for task in range(num_tasks)}
+        for key, task in result.placements.items():
+            rebuilt[task] += costs[key]
+        for task in range(num_tasks):
+            assert rebuilt[task] == pytest.approx(result.loads[task])
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=20.0), min_size=2, max_size=12),
+        st.integers(2, 6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_theorem1_bound_when_perfect_assignment_exists(self, base_costs, num_tasks):
+        """Theorem 1: θ ≤ 1/3·(1 − 1/N_D) when a perfect assignment exists.
+
+        A perfect assignment is guaranteed by construction: every task gets an
+        identical multiset of key costs, so the optimum is exactly the mean.
+        With at least two keys per task, no single key reaches the mean either
+        (the theorem's second precondition).
+        """
+        costs = {}
+        for copy in range(num_tasks):
+            for index, value in enumerate(base_costs):
+                costs[(copy, index)] = value
+        mean_load = sum(base_costs)
+        result = least_load_fit_decreasing(
+            set(costs), {}, costs, costs, num_tasks, 0.0, lambda key: 0
+        )
+        bound = (1.0 / 3.0) * (1.0 - 1.0 / num_tasks)
+        overload = max(
+            (load - mean_load) / mean_load for load in result.loads.values()
+        )
+        assert overload <= bound + 1e-9
+
+
+class TestSimpleAlgorithm:
+    def test_lpt_balances_uniform_costs(self):
+        costs = {index: 1.0 for index in range(12)}
+        placements, loads, routing = simple_assign(costs, 3, lambda key: 0)
+        assert sorted(loads.values()) == [4.0, 4.0, 4.0]
+        assert set(placements) == set(costs)
+
+    def test_routing_entries_consistent(self):
+        hash_fn = _hash(3, seed=2)
+        costs = {index: float(index % 5 + 1) for index in range(30)}
+        placements, _, routing = simple_assign(costs, 3, hash_fn)
+        for key, task in routing.items():
+            assert hash_fn(key) != task and placements[key] == task
+
+    def test_invalid_num_tasks(self):
+        with pytest.raises(ValueError):
+            simple_assign({"a": 1.0}, 0, lambda key: 0)
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=30.0), min_size=6, max_size=60),
+        st.integers(2, 6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_graham_bound(self, cost_values, num_tasks):
+        """Graham's list-scheduling bound holds: L_max ≤ L̄ + (1 − 1/m)·c_max."""
+        costs = {index: value for index, value in enumerate(cost_values)}
+        _, loads, _ = simple_assign(costs, num_tasks, lambda key: 0)
+        mean = sum(costs.values()) / num_tasks
+        bound = mean + (1 - 1 / num_tasks) * max(costs.values())
+        assert max(loads.values()) <= bound + 1e-9

@@ -1,0 +1,148 @@
+"""Tests for per-interval statistics and the rolling statistics store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.statistics import IntervalStats, KeyStats, StatisticsStore
+
+
+class TestKeyStats:
+    def test_defaults(self):
+        stat = KeyStats()
+        assert stat.frequency == 0 and stat.cost == 0 and stat.memory == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            KeyStats(frequency=-1)
+
+    def test_merge(self):
+        merged = KeyStats(1, 2, 3).merged(KeyStats(4, 5, 6))
+        assert (merged.frequency, merged.cost, merged.memory) == (5, 7, 9)
+
+
+class TestIntervalStats:
+    def test_from_frequencies_defaults(self):
+        stats = IntervalStats.from_frequencies(3, {"a": 10, "b": 0, "c": 5})
+        assert "b" not in stats  # zero-frequency keys are dropped
+        assert stats.frequency("a") == 10
+        assert stats.cost("a") == 10
+        assert stats.memory("c") == 5
+        assert stats.interval == 3
+
+    def test_from_frequencies_scaling(self):
+        stats = IntervalStats.from_frequencies(
+            0, {"a": 4}, cost_per_tuple=2.5, memory_per_tuple=0.5
+        )
+        assert stats.cost("a") == 10
+        assert stats.memory("a") == 2
+
+    def test_record_accumulates(self):
+        stats = IntervalStats(0)
+        stats.record("k", frequency=1, cost=2, memory=3)
+        stats.record("k", frequency=1, cost=2, memory=3)
+        assert stats.frequency("k") == 2
+        assert stats.cost("k") == 4
+        assert stats.memory("k") == 6
+
+    def test_totals(self):
+        stats = IntervalStats.from_frequencies(0, {"a": 3, "b": 7})
+        assert stats.total_frequency() == 10
+        assert stats.total_cost() == 10
+        assert stats.total_memory() == 10
+        assert len(stats) == 2
+
+    def test_unknown_key_is_zero(self):
+        stats = IntervalStats(0)
+        assert stats.cost("nope") == 0.0
+        assert stats.get("nope") == KeyStats()
+
+    def test_copy_is_independent(self):
+        stats = IntervalStats.from_frequencies(0, {"a": 1})
+        clone = stats.copy()
+        clone.record("b", frequency=1)
+        assert "b" not in stats
+
+
+class TestStatisticsStore:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            StatisticsStore(window=0)
+
+    def test_latest_requires_push(self):
+        with pytest.raises(LookupError):
+            _ = StatisticsStore().latest
+
+    def test_push_order_enforced(self):
+        store = StatisticsStore(window=3)
+        store.push(IntervalStats.from_frequencies(1, {"a": 1}))
+        with pytest.raises(ValueError):
+            store.push(IntervalStats.from_frequencies(1, {"a": 1}))
+
+    def test_window_eviction(self):
+        store = StatisticsStore(window=2)
+        for interval in range(1, 5):
+            store.push(IntervalStats.from_frequencies(interval, {"a": interval}))
+        assert store.intervals == (3, 4)
+        assert len(store) == 2
+
+    def test_windowed_memory_sums_last_w(self):
+        store = StatisticsStore(window=3)
+        for interval in range(1, 4):
+            store.push(IntervalStats.from_frequencies(interval, {"a": 10}))
+        assert store.windowed_memory("a") == 30
+        assert store.windowed_memory("a", window=1) == 10
+        assert store.windowed_memory("a", window=2) == 20
+
+    def test_windowed_memory_invalid_window(self):
+        store = StatisticsStore(window=2)
+        store.push(IntervalStats.from_frequencies(1, {"a": 1}))
+        with pytest.raises(ValueError):
+            store.windowed_memory("a", window=0)
+
+    def test_cost_map_reflects_latest_only(self):
+        store = StatisticsStore(window=2)
+        store.push(IntervalStats.from_frequencies(1, {"a": 5}))
+        store.push(IntervalStats.from_frequencies(2, {"a": 7, "b": 1}))
+        assert store.cost_map() == {"a": 7.0, "b": 1.0}
+        assert store.cost("a") == 7.0
+        assert store.frequency("b") == 1.0
+
+    def test_memory_map_over_window(self):
+        store = StatisticsStore(window=2)
+        store.push(IntervalStats.from_frequencies(1, {"a": 5, "b": 2}))
+        store.push(IntervalStats.from_frequencies(2, {"a": 7}))
+        assert store.memory_map() == {"a": 12.0, "b": 2.0}
+        assert store.total_windowed_memory() == 14.0
+
+    def test_observed_keys_union(self):
+        store = StatisticsStore(window=2)
+        store.push(IntervalStats.from_frequencies(1, {"a": 1}))
+        store.push(IntervalStats.from_frequencies(2, {"b": 1}))
+        assert store.observed_keys() == {"a", "b"}
+
+    def test_copy_independent(self):
+        store = StatisticsStore(window=2)
+        store.push(IntervalStats.from_frequencies(1, {"a": 1}))
+        clone = store.copy()
+        clone.push(IntervalStats.from_frequencies(2, {"b": 1}))
+        assert len(store) == 1 and len(clone) == 2
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.integers(0, 20), st.floats(0.0, 100.0), min_size=1, max_size=10
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=50)
+    def test_windowed_memory_never_exceeds_total(self, snapshots, window):
+        store = StatisticsStore(window=window)
+        for index, freqs in enumerate(snapshots):
+            store.push(IntervalStats.from_frequencies(index, freqs))
+        total = store.total_windowed_memory()
+        per_key = sum(store.windowed_memory(key) for key in store.observed_keys())
+        assert per_key == pytest.approx(total)

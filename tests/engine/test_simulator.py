@@ -1,0 +1,215 @@
+"""Integration tests for the topology builder and the interval simulators."""
+
+import pytest
+
+from repro.baselines import HashPartitioner, PartialKeyGrouping, ShufflePartitioner
+from repro.core.controller import ControllerConfig
+from repro.engine import (
+    MixedRoutingPartitioner,
+    OperatorSimulator,
+    PipelineSimulator,
+    SimulationConfig,
+    Topology,
+    TopologyBuilder,
+)
+from repro.engine.topology import PipelineStage
+from repro.operators import WindowedSelfJoin, WordCountOperator
+
+
+def skewed_workload(intervals=6, num_keys=300, hot=2, tuples=30_000):
+    snapshots = []
+    for _ in range(intervals):
+        snapshot = {f"k{i}": tuples / (num_keys * 2) for i in range(num_keys)}
+        for index in range(hot):
+            snapshot[f"k{index}"] = tuples / (hot * 4)
+        snapshots.append(snapshot)
+    return snapshots
+
+
+class TestTopologyBuilder:
+    def test_build_single_stage(self):
+        topo = (
+            TopologyBuilder("wc")
+            .add_stage("count", WordCountOperator(), HashPartitioner(4))
+            .build()
+        )
+        assert len(topo) == 1
+        assert topo.stage("count").parallelism == 4
+        assert topo.stage_names() == ["count"]
+
+    def test_duplicate_stage_names_rejected(self):
+        builder = TopologyBuilder("bad")
+        builder.add_stage("s", WordCountOperator(), HashPartitioner(2))
+        builder.add_stage("s", WordCountOperator(), HashPartitioner(2))
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyBuilder("empty").build()
+
+    def test_unknown_stage_lookup(self):
+        topo = (
+            TopologyBuilder("wc")
+            .add_stage("count", WordCountOperator(), HashPartitioner(2))
+            .build()
+        )
+        with pytest.raises(KeyError):
+            topo.stage("nope")
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            PipelineStage("", WordCountOperator(), HashPartitioner(2))
+        with pytest.raises(ValueError):
+            PipelineStage("s", WordCountOperator(), HashPartitioner(2), selectivity=-1)
+
+    def test_key_mapper(self):
+        stage = PipelineStage(
+            "s", WordCountOperator(), HashPartitioner(2), key_mapper=lambda k: k * 2
+        )
+        assert stage.map_key(3) == 6
+        plain = PipelineStage("p", WordCountOperator(), HashPartitioner(2))
+        assert plain.map_key(3) == 3
+
+
+class TestOperatorSimulator:
+    def test_conservation_and_metrics(self):
+        sim = OperatorSimulator(
+            HashPartitioner(4, seed=1),
+            WordCountOperator(),
+            SimulationConfig(capacity_factor=2.0, interval_seconds=10),
+        )
+        metrics = sim.run(skewed_workload())
+        assert len(metrics) == 6
+        for record in metrics:
+            assert record.processed_tuples <= record.offered_tuples + 1e-6
+            assert record.skewness >= 1.0
+            assert record.num_tasks == 4
+        # Generous capacity: everything is processed, no backlog remains.
+        assert metrics.mean("processed_tuples") == pytest.approx(
+            metrics.mean("offered_tuples"), rel=1e-6
+        )
+
+    def test_mixed_partitioner_rebalances_and_migrates_state(self):
+        part = MixedRoutingPartitioner(
+            4, ControllerConfig(theta_max=0.1, max_table_size=200), seed=1
+        )
+        sim = OperatorSimulator(part, WordCountOperator(), SimulationConfig(capacity_factor=1.1))
+        metrics = sim.run(skewed_workload())
+        assert metrics.rebalance_count >= 1
+        assert metrics.total_migrated_state > 0
+        # Skewness drops after the first adjustment.
+        skew = metrics.series("skewness")
+        assert skew[-1] < skew[0]
+        assert part.routing_table_size > 0
+
+    def test_mixed_beats_hash_on_throughput_under_saturation(self):
+        config = SimulationConfig(capacity_factor=1.05)
+        hash_metrics = OperatorSimulator(
+            HashPartitioner(4, seed=1), WordCountOperator(), config
+        ).run(skewed_workload())
+        mixed_metrics = OperatorSimulator(
+            MixedRoutingPartitioner(4, ControllerConfig(theta_max=0.05), seed=1),
+            WordCountOperator(),
+            config,
+        ).run(skewed_workload())
+        assert mixed_metrics.mean_throughput >= hash_metrics.mean_throughput
+        assert mixed_metrics.mean_latency_ms <= hash_metrics.mean_latency_ms
+
+    def test_shuffle_is_perfectly_balanced(self):
+        metrics = OperatorSimulator(
+            ShufflePartitioner(4), WordCountOperator(), SimulationConfig()
+        ).run(skewed_workload())
+        assert metrics.mean_skewness == pytest.approx(1.0)
+
+    def test_pkg_pays_merge_overhead_on_stateful_operator(self):
+        config = SimulationConfig(capacity_factor=1.3)
+        pkg = OperatorSimulator(
+            PartialKeyGrouping(4, seed=1), WordCountOperator(), config
+        ).run(skewed_workload())
+        ideal = OperatorSimulator(
+            ShufflePartitioner(4), WordCountOperator(), config
+        ).run(skewed_workload())
+        # The merge tax shows up as lost throughput relative to pure shuffle.
+        assert pkg.mean_throughput < ideal.mean_throughput
+
+    def test_scale_out_uses_new_task(self):
+        part = MixedRoutingPartitioner(
+            3, ControllerConfig(theta_max=0.1, max_table_size=500), seed=2
+        )
+        sim = OperatorSimulator(part, WordCountOperator(), SimulationConfig(capacity_factor=1.2))
+        metrics = sim.run(skewed_workload(intervals=8), scale_out_at={4: 4})
+        assert metrics.intervals[3].num_tasks == 3
+        assert metrics.intervals[4].num_tasks == 4
+        # After scale-out and one adjustment, the new task receives load.
+        last = metrics.intervals[-1]
+        assert last.per_task_load.get(3, 0.0) > 0.0
+
+    def test_tasks_accessible(self):
+        sim = OperatorSimulator(HashPartitioner(2), WordCountOperator(), SimulationConfig())
+        sim.run(skewed_workload(intervals=2))
+        assert set(sim.tasks) == {0, 1}
+
+
+class TestPipelineSimulator:
+    def _two_stage_topology(self, parallelism=4):
+        return (
+            TopologyBuilder("pipeline")
+            .add_stage(
+                "join",
+                WindowedSelfJoin(window=2),
+                HashPartitioner(parallelism, seed=1),
+                selectivity=1.0,
+                key_mapper=lambda key: hash(key) % 10,
+            )
+            .add_stage("agg", WordCountOperator(), HashPartitioner(2, seed=2))
+            .build()
+        )
+
+    def test_two_stage_flow(self):
+        sim = PipelineSimulator(
+            self._two_stage_topology(), SimulationConfig(capacity_factor=2.0)
+        )
+        result = sim.run(skewed_workload(intervals=5))
+        assert set(result.stages) == {"join", "agg"}
+        assert len(result.pipeline) == 5
+        # With generous capacity the last stage processes what the first emits.
+        join = result.stages["join"]
+        agg = result.stages["agg"]
+        assert agg.mean("offered_tuples") == pytest.approx(
+            join.mean("processed_tuples"), rel=1e-6
+        )
+        # Pipeline latency adds up across stages.
+        assert result.pipeline.mean_latency_ms >= join.mean_latency_ms
+
+    def test_selectivity_scales_downstream_volume(self):
+        topo = (
+            TopologyBuilder("sel")
+            .add_stage(
+                "filter",
+                WordCountOperator(),
+                HashPartitioner(2, seed=1),
+                selectivity=0.5,
+            )
+            .add_stage("sink", WordCountOperator(), HashPartitioner(2, seed=2))
+            .build()
+        )
+        result = PipelineSimulator(topo, SimulationConfig(capacity_factor=2.0)).run(
+            skewed_workload(intervals=3)
+        )
+        filter_out = result.stages["filter"].mean("processed_tuples")
+        sink_in = result.stages["sink"].mean("offered_tuples")
+        assert sink_in == pytest.approx(filter_out * 0.5, rel=1e-6)
+
+    def test_unknown_scale_out_stage_rejected(self):
+        sim = PipelineSimulator(self._two_stage_topology(), SimulationConfig())
+        with pytest.raises(KeyError):
+            sim.run(skewed_workload(intervals=1), scale_out_schedule={0: {"nope": 5}})
+
+    def test_simulation_config_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(interval_seconds=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(capacity_factor=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(fixed_capacity=-1)

@@ -1,0 +1,223 @@
+"""Tests for keyed state, sliding windows, the executor model and backpressure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.backpressure import admissible_fraction, throttled_loads
+from repro.engine.executor import ExecutorConfig, TaskExecutor
+from repro.engine.state import KeyedState
+from repro.engine.tuples import StreamTuple
+from repro.engine.window import SlidingWindow
+
+
+class TestStreamTuple:
+    def test_rekey_and_with_stream(self):
+        tup = StreamTuple(key="a", value=1, interval=3)
+        assert tup.rekey("b").key == "b"
+        assert tup.rekey("b").value == 1
+        assert tup.with_stream("left").stream == "left"
+        assert tup.stream == "default"
+
+
+class TestSlidingWindow:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+    def test_eviction_order(self):
+        window = SlidingWindow(2)
+        assert window.append(1, "a") == []
+        assert window.append(2, "b") == []
+        assert window.append(3, "c") == [1]
+        assert window.intervals() == (2, 3)
+        assert window.payloads() == ["b", "c"]
+
+    def test_reappend_same_interval_replaces(self):
+        window = SlidingWindow(3)
+        window.append(1, "a")
+        window.append(1, "b")
+        assert window.get(1) == "b"
+        assert len(window) == 1
+
+    def test_decreasing_interval_rejected(self):
+        window = SlidingWindow(3)
+        window.append(5, "a")
+        with pytest.raises(ValueError):
+            window.append(4, "b")
+
+    def test_contains_and_clear(self):
+        window = SlidingWindow(2)
+        window.append(1, "a")
+        assert 1 in window and 2 not in window
+        window.clear()
+        assert len(window) == 0
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=40), st.integers(1, 5))
+    @settings(max_examples=50)
+    def test_never_exceeds_size(self, intervals, size):
+        window = SlidingWindow(size)
+        for interval in sorted(intervals):
+            window.append(interval, interval)
+            assert len(window) <= size
+
+
+class TestKeyedState:
+    def test_update_and_sizes(self):
+        state = KeyedState(window=2)
+        state.update("a", 1, payload={"x": 1}, size=5.0)
+        state.update("a", 2, payload={"x": 2}, size=3.0)
+        assert state.key_size("a") == 8.0
+        assert state.total_size() == 8.0
+        assert state.size_map() == {"a": 8.0}
+        assert state.latest_payload("a") == {"x": 2}
+
+    def test_window_expiry(self):
+        state = KeyedState(window=2)
+        for interval in range(1, 5):
+            state.update("a", interval, payload=interval, size=1.0)
+        assert state.key_size("a") == 2.0
+        assert state.payloads("a") == [3, 4]
+
+    def test_explicit_expire(self):
+        state = KeyedState(window=2)
+        state.update("a", 1, payload=1, size=1.0)
+        state.update("b", 1, payload=1, size=1.0)
+        state.expire(5)
+        assert len(state) == 0
+
+    def test_accumulate_counter(self):
+        state = KeyedState(window=1)
+        state.accumulate("a", 1, 2.0)
+        state.accumulate("a", 1, 3.0)
+        assert state.key_size("a") == 5.0
+
+    def test_accumulate_custom_payload(self):
+        state = KeyedState(window=1)
+        state.accumulate("a", 1, 1.0, payload_update=lambda old: (old or []) + ["x"])
+        state.accumulate("a", 1, 1.0, payload_update=lambda old: (old or []) + ["y"])
+        assert state.latest_payload("a") == ["x", "y"]
+
+    def test_extract_install_roundtrip(self):
+        source = KeyedState(window=3)
+        target = KeyedState(window=3)
+        for interval in range(1, 4):
+            source.accumulate("hot", interval, float(interval))
+        snapshot = source.extract("hot")
+        assert "hot" not in source
+        target.install("hot", snapshot)
+        assert target.key_size("hot") == 6.0
+        assert target.payloads("hot") == [1.0, 2.0, 3.0]
+
+    def test_extract_unknown_key_is_empty(self):
+        assert KeyedState().extract("missing") == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            KeyedState().update("a", 1, payload=None, size=-1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            KeyedState(window=0)
+
+
+class TestTaskExecutor:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(capacity=0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(capacity=10, interval_seconds=0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(capacity=10, max_backlog=-1)
+
+    def test_underload_processes_everything(self):
+        executor = TaskExecutor(ExecutorConfig(capacity=100, interval_seconds=1))
+        outcome = executor.run_interval(50)
+        assert outcome.processed == 50
+        assert outcome.backlog == 0
+        assert outcome.shed == 0
+        assert outcome.utilization == pytest.approx(0.5)
+
+    def test_overload_accumulates_backlog(self):
+        executor = TaskExecutor(ExecutorConfig(capacity=100, interval_seconds=1))
+        outcome = executor.run_interval(150)
+        assert outcome.processed == 100
+        assert outcome.backlog == 50
+        second = executor.run_interval(100)
+        assert second.processed == 100
+        assert second.backlog == 50
+
+    def test_backlog_cap_sheds(self):
+        executor = TaskExecutor(
+            ExecutorConfig(capacity=100, interval_seconds=1, max_backlog=20)
+        )
+        outcome = executor.run_interval(200)
+        assert outcome.processed == 100
+        assert outcome.backlog == 20
+        assert outcome.shed == 80
+
+    def test_latency_grows_with_utilization(self):
+        executor = TaskExecutor(ExecutorConfig(capacity=100, interval_seconds=1))
+        light = executor.run_interval(20).latency_ms
+        executor.reset()
+        heavy = executor.run_interval(95).latency_ms
+        executor.reset()
+        overloaded = executor.run_interval(300).latency_ms
+        assert light < heavy < overloaded
+
+    def test_pause_reduces_capacity_and_adds_latency(self):
+        executor = TaskExecutor(ExecutorConfig(capacity=100, interval_seconds=1))
+        paused = executor.run_interval(100, paused_fraction=0.5)
+        assert paused.processed == 50
+        assert paused.paused_fraction == 0.5
+        executor.reset()
+        unpaused = executor.run_interval(100)
+        assert paused.latency_ms > unpaused.latency_ms
+
+    def test_negative_offered_rejected(self):
+        executor = TaskExecutor(ExecutorConfig(capacity=10))
+        with pytest.raises(ValueError):
+            executor.run_interval(-1)
+
+    @given(
+        st.lists(st.floats(0, 500), min_size=1, max_size=20),
+        st.floats(10, 200),
+    )
+    @settings(max_examples=50)
+    def test_conservation_of_work(self, offers, capacity):
+        """Processed + backlog + shed always accounts for every offered unit."""
+        executor = TaskExecutor(
+            ExecutorConfig(capacity=capacity, interval_seconds=1, max_backlog=capacity)
+        )
+        total_offered = 0.0
+        total_processed = 0.0
+        total_shed = 0.0
+        for offered in offers:
+            outcome = executor.run_interval(offered)
+            total_offered += offered
+            total_processed += outcome.processed
+            total_shed += outcome.shed
+        assert total_processed + total_shed + executor.backlog == pytest.approx(
+            total_offered
+        )
+
+
+class TestBackpressure:
+    def test_no_throttle_when_capacity_sufficient(self):
+        fraction = admissible_fraction({0: 50, 1: 60}, {0: 100, 1: 100}, {0: 0, 1: 0})
+        assert fraction == 1.0
+
+    def test_throttled_by_bottleneck(self):
+        fraction = admissible_fraction({0: 200, 1: 50}, {0: 100, 1: 100}, {0: 0, 1: 0})
+        assert fraction == pytest.approx(0.5)
+
+    def test_zero_capacity_blocks(self):
+        assert admissible_fraction({0: 10}, {0: 0}, {0: 0}) == 0.0
+
+    def test_backlog_reduces_admission(self):
+        fraction = admissible_fraction({0: 100}, {0: 100}, {0: 50})
+        assert fraction == pytest.approx(0.5)
+
+    def test_throttled_loads(self):
+        assert throttled_loads({0: 10, 1: 20}, 0.5) == {0: 5, 1: 10}
+        assert throttled_loads({0: 10}, 2.0) == {0: 10}

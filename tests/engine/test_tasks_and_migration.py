@@ -1,0 +1,208 @@
+"""Tests for tasks, operator logic, the migration protocol and metrics."""
+
+import pytest
+
+from repro.core.migration import KeyMove, MigrationPlan
+from repro.engine.metrics import IntervalMetrics, MetricsCollector
+from repro.engine.migration_protocol import (
+    MigrationConfig,
+    MigrationProtocol,
+    MigrationReport,
+)
+from repro.engine.operator import OperatorLogic, Task
+from repro.engine.tuples import StreamTuple
+from repro.operators import WordCountOperator
+
+
+class TestTask:
+    def test_event_level_processing_records_stats(self):
+        task = Task(0, WordCountOperator(window=2))
+        task.begin_interval(1)
+        for word in ["a", "a", "b"]:
+            outputs = task.process(StreamTuple(key=word, interval=1))
+            assert outputs and outputs[0].key == word
+        stats = task.end_interval()
+        assert stats.frequency("a") == 2
+        assert stats.cost("b") == 1
+        assert task.metrics.tuples_processed == 3
+        assert task.state_size == 3.0
+
+    def test_ingest_counts_fluid_path(self):
+        task = Task(1, WordCountOperator(window=1))
+        task.ingest_counts(0, {"a": 10, "b": 5})
+        stats = task.end_interval()
+        assert stats.frequency("a") == 10
+        assert stats.memory("b") == 5
+        assert task.state_size == 15.0
+
+    def test_state_expiry_on_interval_end(self):
+        task = Task(0, WordCountOperator(window=1))
+        task.ingest_counts(0, {"a": 10})
+        task.end_interval()
+        task.ingest_counts(5, {"b": 1})
+        task.end_interval()
+        # Window is 1 interval: the state from interval 0 is gone.
+        assert task.state.key_size("a") == 0.0
+
+    def test_extract_install_updates_metrics(self):
+        source = Task(0, WordCountOperator(window=1))
+        target = Task(1, WordCountOperator(window=1))
+        source.ingest_counts(0, {"hot": 100})
+        source.end_interval()
+        snapshot = source.extract_key("hot")
+        target.install_key("hot", snapshot)
+        assert source.metrics.migrations_out == 1
+        assert target.metrics.migrations_in == 1
+        assert target.state.key_size("hot") == 100.0
+
+    def test_end_interval_without_begin_raises(self):
+        with pytest.raises(RuntimeError):
+            Task(0, WordCountOperator()).end_interval()
+
+    def test_invalid_task_id(self):
+        with pytest.raises(ValueError):
+            Task(-1, WordCountOperator())
+
+    def test_default_logic_is_stateless_passthrough(self):
+        class Passthrough(OperatorLogic):
+            name = "noop"
+
+        task = Task(0, Passthrough())
+        task.begin_interval(0)
+        outputs = task.process(StreamTuple(key="x", value=1, interval=0))
+        assert outputs[0].key == "x"
+        assert task.state_size == 0.0
+
+
+class TestMigrationProtocol:
+    def _tasks(self):
+        tasks = {i: Task(i, WordCountOperator(window=2)) for i in range(3)}
+        tasks[0].ingest_counts(0, {"hot": 100, "warm": 10})
+        tasks[1].ingest_counts(0, {"cold": 5})
+        for task in tasks.values():
+            if task._interval_stats is not None:  # only tasks that ingested
+                task.end_interval()
+        return tasks
+
+    def test_empty_plan_is_noop(self):
+        protocol = MigrationProtocol()
+        report = protocol.execute(MigrationPlan(), self._tasks())
+        assert report.moved_keys == 0
+        assert report.duration_seconds == 0.0
+        assert report.affected_tasks == set()
+
+    def test_state_actually_moves(self):
+        tasks = self._tasks()
+        plan = MigrationPlan([KeyMove("hot", 0, 2, state_size=100)])
+        report = MigrationProtocol().execute(plan, tasks, interval_seconds=10)
+        assert report.moved_keys == 1
+        assert report.moved_state == 100.0
+        assert tasks[0].state.key_size("hot") == 0.0
+        assert tasks[2].state.key_size("hot") == 100.0
+        assert report.paused_keys == {"hot"}
+        assert set(report.pause_fraction_by_task) == {0, 2}
+
+    def test_duration_scales_with_volume(self):
+        config = MigrationConfig(
+            bytes_per_state_unit=1000,
+            bandwidth_bytes_per_second=10_000,
+            pause_overhead_seconds=0.0,
+        )
+        tasks = self._tasks()
+        plan = MigrationPlan([KeyMove("hot", 0, 2, state_size=100)])
+        report = MigrationProtocol(config).execute(plan, tasks, interval_seconds=10)
+        assert report.duration_seconds == pytest.approx(100 * 1000 / 10_000)
+        assert 0 < report.pause_fraction_by_task[0] <= 1.0
+
+    def test_sequential_vs_parallel_transfers(self):
+        plan = MigrationPlan(
+            [KeyMove("hot", 0, 2, state_size=100), KeyMove("warm", 0, 1, state_size=10)]
+        )
+        base = dict(
+            bytes_per_state_unit=1000,
+            bandwidth_bytes_per_second=10_000,
+            pause_overhead_seconds=0.0,
+        )
+        parallel = MigrationProtocol(MigrationConfig(**base, parallel_transfers=True)).execute(
+            plan, self._tasks(), interval_seconds=10
+        )
+        sequential = MigrationProtocol(
+            MigrationConfig(**base, parallel_transfers=False)
+        ).execute(plan, self._tasks(), interval_seconds=10)
+        assert sequential.duration_seconds > parallel.duration_seconds
+
+    def test_unknown_task_rejected(self):
+        plan = MigrationPlan([KeyMove("hot", 0, 9, state_size=1)])
+        with pytest.raises(KeyError):
+            MigrationProtocol().execute(plan, self._tasks())
+
+    def test_stateless_key_uses_plan_estimate(self):
+        tasks = self._tasks()
+        plan = MigrationPlan([KeyMove("unknown", 1, 2, state_size=42)])
+        report = MigrationProtocol().execute(plan, tasks)
+        assert report.moved_state == 42.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MigrationConfig(bandwidth_bytes_per_second=0)
+        with pytest.raises(ValueError):
+            MigrationConfig(bytes_per_state_unit=-1)
+
+
+class TestMetricsCollector:
+    def _collector(self):
+        collector = MetricsCollector("test")
+        for interval in range(4):
+            collector.record(
+                IntervalMetrics(
+                    interval=interval,
+                    offered_tuples=100,
+                    processed_tuples=100 - interval * 10,
+                    throughput=10 - interval,
+                    latency_ms=5.0 * (interval + 1),
+                    skewness=1.0 + interval / 10,
+                    rebalanced=(interval % 2 == 1),
+                    migration_fraction=0.1 * interval,
+                    generation_time=0.01 * interval,
+                )
+            )
+        return collector
+
+    def test_series_and_aggregates(self):
+        collector = self._collector()
+        assert len(collector) == 4
+        assert collector.series("throughput") == [10, 9, 8, 7]
+        assert collector.mean("throughput") == pytest.approx(8.5)
+        assert collector.mean("throughput", skip_warmup=2) == pytest.approx(7.5)
+        assert collector.minimum("throughput") == 7
+        assert collector.maximum("skewness") == pytest.approx(1.3)
+
+    def test_latency_is_processed_weighted(self):
+        collector = self._collector()
+        weights = collector.series("processed_tuples")
+        latencies = collector.series("latency_ms")
+        expected = sum(w * l for w, l in zip(weights, latencies)) / sum(weights)
+        assert collector.mean_latency_ms == pytest.approx(expected)
+
+    def test_rebalance_metrics_only_over_rebalanced_intervals(self):
+        collector = self._collector()
+        assert collector.rebalance_count == 2
+        assert collector.mean_migration_fraction == pytest.approx((0.1 + 0.3) / 2)
+        assert collector.mean_generation_time == pytest.approx((0.01 + 0.03) / 2)
+
+    def test_summary_keys(self):
+        summary = self._collector().summary()
+        for key in (
+            "throughput_mean",
+            "latency_ms_mean",
+            "skewness_mean",
+            "migration_fraction_mean",
+            "rebalances",
+        ):
+            assert key in summary
+
+    def test_empty_collector(self):
+        collector = MetricsCollector()
+        assert collector.mean_throughput == 0.0
+        assert collector.mean_latency_ms == 0.0
+        assert collector.summary()["intervals"] == 0.0
