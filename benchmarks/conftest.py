@@ -21,6 +21,15 @@ if str(_SRC) not in sys.path:
 
 from repro.experiments.config import get_scale  # noqa: E402
 
+_BENCHMARKS_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every figure benchmark ``slow`` so CI can deselect the directory."""
+    for item in items:
+        if _BENCHMARKS_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
+
 
 @pytest.fixture(scope="session")
 def bench_scale():

@@ -1,6 +1,6 @@
 """Pytest bootstrap: make ``src/`` importable even when the package has not
 been installed (useful in offline environments where ``pip install -e .`` is
-unavailable)."""
+unavailable), and register the shared markers."""
 
 import sys
 from pathlib import Path
@@ -8,3 +8,10 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running figure reproduction; deselected in CI with -m 'not slow'",
+    )

@@ -4,25 +4,44 @@ The engine talks to every strategy — the paper's mixed-routing controller and
 all baselines — through this small protocol:
 
 * :meth:`Partitioner.route` decides the destination task of one tuple;
+* :meth:`Partitioner.assign_batch` and :meth:`Partitioner.route_snapshot` are
+  the batch fast path: an entire ``{key: count}`` interval snapshot is routed
+  in a single call (one pass, memoised key→task results for deterministic
+  strategies) instead of one Python call per key;
 * :meth:`Partitioner.on_interval_end` hands the partitioner the statistics of
   the finished interval and lets it rebalance; it returns a
   :class:`~repro.core.planner.RebalanceResult` when keys (and their state) were
   migrated, or ``None`` when nothing changed;
 * :meth:`Partitioner.supports_stateful` advertises whether the strategy keeps
   the key-contiguity guarantee stateful operators need (PKG does not).
+
+Strategies whose ``route`` is deterministic, side-effect free and
+key-contiguous (plain hashing, the mixed-routing controller, Readj, DKG)
+declare ``cache_routes = True``: the base class then memoises key→task results
+across intervals and only recomputes them when the assignment changes (a
+rebalance installs a new routing table, or the operator scales out).  The
+cache epoch is provided by :meth:`Partitioner._route_epoch`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional
 
+from repro.core.hashing import memo_key
 from repro.core.planner import RebalanceResult
 from repro.core.statistics import IntervalStats
 
 __all__ = ["Partitioner", "RebalancingPartitioner"]
 
 Key = Hashable
+
+#: Sentinel marking a route cache whose epoch has never been sampled.
+_EPOCH_UNSET = object()
+
+#: Bound on memoised key→task entries (matches the digest-cache cap): a
+#: workload that keeps minting fresh keys must not grow the memo without limit.
+_ROUTE_CACHE_MAX = 1 << 20
 
 
 class Partitioner(ABC):
@@ -31,14 +50,122 @@ class Partitioner(ABC):
     #: Display name used by experiments and reports.
     name: str = "partitioner"
 
+    #: True when ``route`` is deterministic, side-effect free and
+    #: key-contiguous, enabling the shared key→task memo used by the batch API.
+    cache_routes: bool = False
+
     def __init__(self, num_tasks: int) -> None:
         if num_tasks <= 0:
             raise ValueError(f"num_tasks must be positive, got {num_tasks}")
         self.num_tasks = int(num_tasks)
+        self._route_cache: Dict[Key, int] = {}
+        self._route_cache_epoch: object = _EPOCH_UNSET
 
     @abstractmethod
     def route(self, key: Key) -> int:
         """Return the destination task index for a tuple with ``key``."""
+
+    # -- batch routing ------------------------------------------------------
+
+    def _route_epoch(self) -> object:
+        """Token identifying the current assignment; a change drops the cache.
+
+        Static strategies return a constant; rebalancing strategies return
+        something that changes whenever their assignment function does (e.g.
+        ``(rounds, routing_table.version)``).
+        """
+        return None
+
+    def invalidate_route_cache(self) -> None:
+        """Drop all memoised key→task results (after rebalance/scale-out)."""
+        self._route_cache.clear()
+        self._route_cache_epoch = _EPOCH_UNSET
+
+    def _check_snapshot_num_tasks(self, num_tasks: Optional[int]) -> None:
+        """Reject a caller whose view of the parallelism is out of sync."""
+        if num_tasks is not None and int(num_tasks) != self.num_tasks:
+            raise ValueError(
+                f"snapshot routed for {num_tasks} tasks but partitioner has "
+                f"{self.num_tasks}"
+            )
+
+    def _valid_route_cache(self) -> Dict[Key, int]:
+        """The memo dict, cleared first if the assignment epoch moved."""
+        epoch = self._route_epoch()
+        if epoch != self._route_cache_epoch:
+            self._route_cache.clear()
+            self._route_cache_epoch = epoch
+        elif len(self._route_cache) >= _ROUTE_CACHE_MAX:
+            self._route_cache.clear()
+        return self._route_cache
+
+    def assign_batch(self, keys: Iterable[Key]) -> List[int]:
+        """Destination task of every key in ``keys`` (one call, in order).
+
+        Semantically identical to ``[self.route(k) for k in keys]``; cached
+        strategies answer repeated keys from the key→task memo.
+        """
+        if not self.cache_routes:
+            route = self.route
+            return [route(key) for key in keys]
+        cache = self._valid_route_cache()
+        cache_get = cache.get
+        route = self.route
+        out: List[int] = []
+        for key in keys:
+            memo = memo_key(key)
+            if memo is None:
+                out.append(route(key))
+                continue
+            task = cache_get(memo)
+            if task is None:
+                task = cache[memo] = route(key)
+            out.append(task)
+        return out
+
+    def route_snapshot(
+        self,
+        snapshot: Mapping[Key, float],
+        num_tasks: Optional[int] = None,
+    ) -> Dict[int, Dict[Key, float]]:
+        """Route a whole ``{key: count}`` interval snapshot in one call.
+
+        Returns ``{task: {key: count}}`` with an (initially empty) bucket for
+        every task in ``0..num_tasks-1``.  Key-splitting strategies (PKG,
+        shuffle) spread each key's batch over several buckets exactly like
+        :meth:`route_bulk` does; key-contiguous strategies send the whole
+        count to the key's single destination.  Non-positive counts are
+        skipped.  ``num_tasks``, when given, must match the partitioner's
+        current parallelism (it exists so callers can assert their view of the
+        operator is in sync).
+        """
+        self._check_snapshot_num_tasks(num_tasks)
+        per_task: Dict[int, Dict[Key, float]] = {
+            task: {} for task in range(self.num_tasks)
+        }
+        if self.cache_routes:
+            cache = self._valid_route_cache()
+            cache_get = cache.get
+            route = self.route
+            for key, count in snapshot.items():
+                if count <= 0:
+                    continue
+                memo = memo_key(key)
+                if memo is None:
+                    task = route(key)
+                else:
+                    task = cache_get(memo)
+                    if task is None:
+                        task = cache[memo] = route(key)
+                per_task[task][key] = count
+            return per_task
+        for key, count in snapshot.items():
+            if count <= 0:
+                continue
+            for task, share in self.route_bulk(key, count).items():
+                bucket = per_task[task]
+                bucket[key] = bucket.get(key, 0.0) + share
+        return per_task
 
     def route_bulk(self, key: Key, count: float) -> Dict[int, float]:
         """Route ``count`` tuples of ``key`` in one call (fluid simulation path).
@@ -73,6 +200,7 @@ class Partitioner(ABC):
         if new_num_tasks < self.num_tasks:
             raise ValueError("scale_out cannot shrink the operator")
         self.num_tasks = int(new_num_tasks)
+        self.invalidate_route_cache()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(num_tasks={self.num_tasks})"
@@ -90,4 +218,8 @@ class RebalancingPartitioner(Partitioner):
         """Produce (and install) a new assignment from the interval statistics."""
 
     def on_interval_end(self, stats: IntervalStats) -> Optional[RebalanceResult]:
-        return self.plan_rebalance(stats)
+        result = self.plan_rebalance(stats)
+        if result is not None:
+            # The assignment changed: memoised key→task routes are stale.
+            self.invalidate_route_cache()
+        return result

@@ -15,7 +15,7 @@ from typing import Dict, Hashable, List, Optional
 
 from repro.baselines.base import RebalancingPartitioner
 from repro.core.assignment import AssignmentFunction
-from repro.core.load import average_load, load_from_costs, max_balance_indicator
+from repro.core.load import load_from_costs, max_balance_indicator
 from repro.core.migration import build_migration_plan, migration_cost_fraction
 from repro.core.planner import RebalanceResult
 from repro.core.routing_table import RoutingTable
@@ -47,6 +47,7 @@ class DKGPartitioner(RebalancingPartitioner):
     """
 
     name = "dkg"
+    cache_routes = True
 
     def __init__(
         self,
@@ -69,6 +70,9 @@ class DKGPartitioner(RebalancingPartitioner):
     def route(self, key: Key) -> int:
         return self.assignment(key)
 
+    def _route_epoch(self) -> object:
+        return (len(self.history), self.assignment.routing_table.version)
+
     def plan_rebalance(self, stats: IntervalStats) -> Optional[RebalanceResult]:
         self.stats.push(stats)
         costs = self.stats.cost_map()
@@ -84,18 +88,20 @@ class DKGPartitioner(RebalancingPartitioner):
 
     def _rebuild(self, costs: Dict[Key, float]) -> RebalanceResult:
         start = time.perf_counter()
-        mean_key_cost = sum(costs.values()) / len(costs)
-        threshold = self.heavy_factor * mean_key_cost
-        heavy = sorted(
-            (key for key, cost in costs.items() if cost > threshold),
-            key=lambda k: (-costs[k], repr(k)),
-        )
-        light = [key for key in costs if costs[key] <= threshold]
+        # Product-form heavy test (cost · K > factor · total): a subnormal
+        # total cost would underflow the divided mean and mark every key heavy.
+        total_cost = sum(costs.values())
+        count = len(costs)
+        threshold = self.heavy_factor * total_cost
+        heavy_keys: List[Key] = []
+        light: List[Key] = []
+        for key, cost in costs.items():
+            (heavy_keys if cost * count > threshold else light).append(key)
+        heavy = sorted(heavy_keys, key=lambda k: (-costs[k], repr(k)))
 
         loads: Dict[int, float] = {task: 0.0 for task in range(self.num_tasks)}
         placements: Dict[Key, int] = {}
-        for key in light:
-            task = self.assignment.hash_destination(key)
+        for key, task in zip(light, self.assignment.hash_batch(light)):
             placements[key] = task
             loads[task] += costs[key]
         for key in heavy:

@@ -34,6 +34,7 @@ class HashPartitioner(Partitioner):
     """
 
     name = "hash"
+    cache_routes = True
 
     def __init__(self, num_tasks: int, seed: int = 0, consistent: bool = False) -> None:
         super().__init__(num_tasks)

@@ -18,12 +18,15 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.baselines.base import Partitioner
-from repro.core.hashing import UniversalHash
+from repro.core.hashing import UniversalHash, memo_key
 from repro.core.statistics import IntervalStats
 
 __all__ = ["PartialKeyGrouping"]
 
 Key = Hashable
+
+#: Bound on memoised candidate lists (mirrors the base route-cache cap).
+_CANDIDATES_CACHE_MAX = 1 << 20
 
 
 class PartialKeyGrouping(Partitioner):
@@ -64,6 +67,10 @@ class PartialKeyGrouping(Partitioner):
         self.seed = int(seed)
         self._hash = UniversalHash(num_tasks, seed=seed)
         self._loads: Dict[int, float] = {task: 0.0 for task in range(num_tasks)}
+        #: Memoised candidate lists — the hash positions of a key are static
+        #: for a given parallelism, so they are computed once per key and
+        #: reused across intervals (dropped on scale-out).
+        self._candidates_cache: Dict[Key, List[int]] = {}
         #: Number of tuples routed per (key, task) — used by the merge operator
         #: model to know how many partials exist per key.
         self.split_counts: Dict[Key, Dict[int, int]] = {}
@@ -72,7 +79,18 @@ class PartialKeyGrouping(Partitioner):
 
     def candidate_tasks(self, key: Key) -> List[int]:
         """The candidate tasks of ``key`` (its ``choices`` hash positions)."""
-        return self._hash.candidates(key, self.choices)
+        memo = memo_key(key)
+        if memo is None:
+            return self._hash.candidates(key, self.choices)
+        candidates = self._candidates_cache.get(memo)
+        if candidates is None:
+            if len(self._candidates_cache) >= _CANDIDATES_CACHE_MAX:
+                self._candidates_cache.clear()
+            candidates = self._candidates_cache[memo] = self._hash.candidates(
+                key, self.choices
+            )
+        # Copy so a caller mutating the result cannot corrupt the cache.
+        return list(candidates)
 
     def route(self, key: Key) -> int:
         candidates = self.candidate_tasks(key)
@@ -144,5 +162,6 @@ class PartialKeyGrouping(Partitioner):
     def scale_out(self, new_num_tasks: int) -> None:
         super().scale_out(new_num_tasks)
         self._hash = UniversalHash(self.num_tasks, seed=self.seed)
+        self._candidates_cache = {}
         for task in range(self.num_tasks):
             self._loads.setdefault(task, 0.0)

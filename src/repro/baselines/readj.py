@@ -26,7 +26,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.baselines.base import RebalancingPartitioner
 from repro.core.assignment import AssignmentFunction
-from repro.core.load import average_load, load_from_costs, max_balance_indicator
+from repro.core.load import load_ceiling, load_from_costs, max_balance_indicator
 from repro.core.migration import build_migration_plan, migration_cost_fraction
 from repro.core.planner import RebalanceResult
 from repro.core.routing_table import RoutingTable
@@ -61,6 +61,7 @@ class ReadjPartitioner(RebalancingPartitioner):
     """
 
     name = "readj"
+    cache_routes = True
 
     def __init__(
         self,
@@ -89,6 +90,9 @@ class ReadjPartitioner(RebalancingPartitioner):
     def route(self, key: Key) -> int:
         return self.assignment(key)
 
+    def _route_epoch(self) -> object:
+        return (len(self.history), self.assignment.routing_table.version)
+
     def scale_out(self, new_num_tasks: int) -> None:
         super().scale_out(new_num_tasks)
         table = self.assignment.routing_table.copy()
@@ -112,19 +116,23 @@ class ReadjPartitioner(RebalancingPartitioner):
         return result
 
     def _candidates(self, costs: Dict[Key, float]) -> List[Key]:
-        """Hot keys: cost at least ``sigma`` times the average key cost."""
+        """Hot keys: cost at least ``sigma`` times the average key cost.
+
+        Compared in product form (``cost · K ≥ σ · total``) so a subnormal
+        total cost cannot underflow the mean to 0 and declare every key hot.
+        """
         if not costs:
             return []
-        mean_cost = sum(costs.values()) / len(costs)
-        threshold = self.sigma * mean_cost
-        return [key for key, cost in costs.items() if cost >= threshold]
+        total = sum(costs.values())
+        count = len(costs)
+        return [key for key, cost in costs.items() if cost * count >= self.sigma * total]
 
     def _rebalance(self, costs: Dict[Key, float]) -> RebalanceResult:
         start = time.perf_counter()
-        working: Dict[Key, int] = {key: self.assignment(key) for key in costs}
-        loads = load_from_costs(costs, lambda k: working[k], self.num_tasks)
-        mean = average_load(loads)
-        ceiling = (1.0 + self.theta_max) * mean
+        keys = list(costs)
+        working: Dict[Key, int] = dict(zip(keys, self.assignment.assign_batch(keys)))
+        loads = load_from_costs(costs, working.__getitem__, self.num_tasks)
+        ceiling = load_ceiling(loads, self.theta_max)
 
         # Step 1: move explicitly routed keys back to their hash destination
         # whenever the receiving task has room.
@@ -140,7 +148,10 @@ class ReadjPartitioner(RebalancingPartitioner):
                 loads[home] += costs[key]
                 working[key] = home
 
-        # Step 2: best-operation search over hot keys.
+        # Step 2: best-operation search over hot keys.  Evaluating one move or
+        # swap needs the load spread with two tasks excluded; keeping the three
+        # highest and three lowest loads of the round makes that O(1) instead
+        # of a full O(N_D) pass per candidate pair.
         candidates = self._candidates(costs)
         operations = 0
         while operations < self.max_operations:
@@ -148,7 +159,26 @@ class ReadjPartitioner(RebalancingPartitioner):
                 break
             best_gain = 0.0
             best_op: Optional[Tuple[str, Key, Optional[Key], int, int]] = None
-            spread = max(loads.values()) - min(loads.values())
+            by_load = sorted(loads.items(), key=lambda item: item[1])
+            lowest3 = by_load[:3]
+            highest3 = by_load[-3:]
+            spread = by_load[-1][1] - by_load[0][1]
+
+            def spread_excluding(task_x: int, task_y: int, val_x: float, val_y: float) -> float:
+                """Spread after tasks x/y take loads val_x/val_y."""
+                high = val_x if val_x >= val_y else val_y
+                for task, load in reversed(highest3):
+                    if task != task_x and task != task_y:
+                        if load > high:
+                            high = load
+                        break
+                low = val_x if val_x <= val_y else val_y
+                for task, load in lowest3:
+                    if task != task_x and task != task_y:
+                        if load < low:
+                            low = load
+                        break
+                return high - low
 
             # Moves: hot key from its task to any other task.
             for key in candidates:
@@ -159,15 +189,7 @@ class ReadjPartitioner(RebalancingPartitioner):
                         continue
                     new_src = loads[source] - cost
                     new_dst = loads[target] + cost
-                    others = [
-                        load
-                        for task, load in loads.items()
-                        if task not in (source, target)
-                    ]
-                    new_spread = max(others + [new_src, new_dst]) - min(
-                        others + [new_src, new_dst]
-                    )
-                    gain = spread - new_spread
+                    gain = spread - spread_excluding(source, target, new_src, new_dst)
                     if gain > best_gain + _EPS:
                         best_gain = gain
                         best_op = ("move", key, None, source, target)
@@ -181,15 +203,7 @@ class ReadjPartitioner(RebalancingPartitioner):
                     diff = costs[key_a] - costs[key_b]
                     new_a = loads[task_a] - diff
                     new_b = loads[task_b] + diff
-                    others = [
-                        load
-                        for task, load in loads.items()
-                        if task not in (task_a, task_b)
-                    ]
-                    new_spread = max(others + [new_a, new_b]) - min(
-                        others + [new_a, new_b]
-                    )
-                    gain = spread - new_spread
+                    gain = spread - spread_excluding(task_a, task_b, new_a, new_b)
                     if gain > best_gain + _EPS:
                         best_gain = gain
                         best_op = ("swap", key_a, key_b, task_a, task_b)

@@ -61,6 +61,24 @@ class ShufflePartitioner(Partitioner):
             self._interval_load[task] += share
         return {task: share for task in range(self.num_tasks)}
 
+    def route_snapshot(
+        self,
+        snapshot,
+        num_tasks=None,
+    ) -> Dict[int, Dict[Key, float]]:
+        """Vectorised even spread: every task receives ``count / N`` per key."""
+        self._check_snapshot_num_tasks(num_tasks)
+        n = self.num_tasks
+        shares = {
+            key: count / n for key, count in snapshot.items() if count > 0
+        }
+        per_task_total = sum(shares.values())
+        per_task: Dict[int, Dict[Key, float]] = {}
+        for task in range(n):
+            per_task[task] = dict(shares)
+            self._interval_load[task] += per_task_total
+        return per_task
+
     def on_interval_end(self, stats: IntervalStats) -> None:
         # Reset the per-interval load estimate; shuffle never migrates state.
         self._interval_load = {task: 0.0 for task in range(self.num_tasks)}

@@ -44,6 +44,8 @@ from repro.core.load import (
     load_per_task,
     max_skewness,
     overloaded_tasks,
+    safe_mean,
+    total_load,
 )
 from repro.core.migration import MigrationPlan, assignment_delta, migration_cost
 from repro.core.minmig import MinMigAlgorithm
@@ -82,6 +84,8 @@ __all__ = [
     "UniversalHash",
     "assignment_delta",
     "average_load",
+    "safe_mean",
+    "total_load",
     "balance_indicator",
     "gamma_index",
     "get_algorithm",

@@ -89,9 +89,36 @@ class AssignmentFunction:
             return destination
         return self._hash(key)
 
+    def assign_batch(self, keys: Iterable[Key]) -> List[int]:
+        """Evaluate ``F`` over many keys in one pass.
+
+        This is the batch fast path used by snapshot routing: the routing
+        table is consulted through one bound lookup per key and the hash falls
+        back to its own vectorised/memoised implementation, instead of paying
+        the full ``__call__`` dispatch per tuple.
+        """
+        if not len(self._table):
+            return self.hash_batch(keys)
+        keys = list(keys)
+        out = self._table.get_many(keys)
+        misses = [index for index, destination in enumerate(out) if destination is None]
+        if misses:
+            hashed = self.hash_batch([keys[index] for index in misses])
+            for index, destination in zip(misses, hashed):
+                out[index] = destination
+        return out  # type: ignore[return-value]  # every None was filled above
+
     def hash_destination(self, key: Key) -> int:
         """``h(k)`` — the destination ignoring the routing table."""
         return self._hash(key)
+
+    def hash_batch(self, keys: Iterable[Key]) -> List[int]:
+        """``h(k)`` over many keys (the table-less sibling of :meth:`assign_batch`)."""
+        hash_batch = getattr(self._hash, "assign_batch", None)
+        if hash_batch is not None:
+            return hash_batch(keys)
+        hash_fn = self._hash
+        return [hash_fn(key) for key in keys]
 
     def is_explicit(self, key: Key) -> bool:
         """True when ``key`` is routed by the table rather than the hash."""
@@ -99,17 +126,24 @@ class AssignmentFunction:
 
     def destinations(self, keys: Iterable[Key]) -> Dict[Key, int]:
         """Evaluate ``F`` over many keys at once."""
-        return {key: self(key) for key in keys}
+        keys = list(keys)
+        return dict(zip(keys, self.assign_batch(keys)))
 
     def keys_of_task(self, task: int, keys: Iterable[Key]) -> List[Key]:
         """Subset of ``keys`` currently assigned to ``task``."""
-        return [key for key in keys if self(key) == task]
+        keys = list(keys)
+        return [
+            key
+            for key, destination in zip(keys, self.assign_batch(keys))
+            if destination == task
+        ]
 
     def partition(self, keys: Iterable[Key]) -> Dict[int, List[Key]]:
         """Group ``keys`` by destination task."""
         groups: Dict[int, List[Key]] = {task: [] for task in self.tasks}
-        for key in keys:
-            groups[self(key)].append(key)
+        keys = list(keys)
+        for key, destination in zip(keys, self.assign_batch(keys)):
+            groups[destination].append(key)
         return groups
 
     # -- rebalancing helpers -----------------------------------------------------
@@ -121,7 +155,14 @@ class AssignmentFunction:
         window) are considered — unseen keys carry no state and therefore incur
         no migration.
         """
-        return {key for key in keys if self(key) != other(key)}
+        keys = list(keys)
+        return {
+            key
+            for key, mine, theirs in zip(
+                keys, self.assign_batch(keys), other.assign_batch(keys)
+            )
+            if mine != theirs
+        }
 
     def with_table(self, table: RoutingTable) -> "AssignmentFunction":
         """Return a new assignment function sharing ``h`` but with ``table``."""

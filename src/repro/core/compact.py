@@ -27,7 +27,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.core.assignment import AssignmentFunction
 from repro.core.criteria import DEFAULT_BETA, gamma_index
 from repro.core.discretization import HLHEDiscretizer
-from repro.core.load import average_load, load_from_costs, max_balance_indicator
+from repro.core.load import load_ceiling, load_from_costs, max_balance_indicator
 from repro.core.migration import build_migration_plan, migration_cost_fraction
 from repro.core.planner import PlannerConfig, RebalanceResult
 from repro.core.routing_table import RoutingTable
@@ -300,8 +300,7 @@ class CompactMixedPlanner:
         for record in records:
             if record.next_dest is not None:
                 loads[record.next_dest] += record.total_cost
-        mean = average_load(loads)
-        ceiling = (1.0 + config.theta_max) * mean
+        ceiling = load_ceiling(loads, config.theta_max)
 
         candidates: List[CompactRecord] = []
         task_records: Dict[int, List[CompactRecord]] = {t: [] for t in range(num_tasks)}

@@ -21,7 +21,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Hashable, Iterable, List, Sequence
 
-__all__ = ["UniversalHash", "ConsistentHashRing", "fnv1a_64", "stable_hash"]
+__all__ = ["UniversalHash", "ConsistentHashRing", "fnv1a_64", "stable_hash", "memo_key"]
 
 _FNV_OFFSET_BASIS = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
@@ -81,8 +81,47 @@ def _key_bytes(key: Hashable) -> bytes:
     return b"r" + repr(key).encode("utf-8", errors="backslashreplace")
 
 
+#: Memoised digests for the common scalar key types.  Snapshot routing hashes
+#: the same keys interval after interval; caching the digest turns the FNV loop
+#: into a dict lookup on the hot path.  Cacheability policy lives in
+#: :func:`memo_key`: the cache key carries the key's exact class because
+#: ``_key_bytes`` is type-sensitive (``True`` and ``1`` collide as dict keys
+#: but hash differently); container keys (tuples, …) are left uncached since
+#: their element types are not captured by ``type(key)``, and ``0.0``/``-0.0``
+#: are left uncached because they are equal as dict keys but ``repr``-encode
+#: (and therefore hash) differently.
+_DIGEST_CACHE: dict = {}
+_DIGEST_CACHE_MAX = 1 << 20
+_CACHED_KEY_TYPES = frozenset((str, bytes, int, float))
+
+
+def memo_key(key: Hashable):
+    """Collision-safe memo key for per-key caches, or ``None`` if uncacheable.
+
+    Plain dicts conflate equal keys that hash differently here (``1`` vs
+    ``1.0`` vs ``True``, ``0.0`` vs ``-0.0``); prefixing the exact class — and
+    refusing the ambiguous cases — keeps any key→result memo consistent with
+    :func:`stable_hash`.  Shared by the digest cache below, the partitioners'
+    route memos and PKG's candidate cache.
+    """
+    cls = key.__class__
+    if cls in _CACHED_KEY_TYPES and not (cls is float and key == 0.0):
+        return (cls, key)
+    return None
+
+
 def stable_hash(key: Hashable, seed: int = 0) -> int:
     """Deterministic 64-bit hash of an arbitrary (hashable) key."""
+    typed_key = memo_key(key)
+    if typed_key is not None:
+        cache_key = (seed, typed_key)
+        digest = _DIGEST_CACHE.get(cache_key)
+        if digest is None:
+            digest = fnv1a_64(_key_bytes(key), seed=seed)
+            if len(_DIGEST_CACHE) >= _DIGEST_CACHE_MAX:
+                _DIGEST_CACHE.clear()
+            _DIGEST_CACHE[cache_key] = digest
+        return digest
     return fnv1a_64(_key_bytes(key), seed=seed)
 
 
@@ -116,6 +155,12 @@ class UniversalHash:
 
     def __call__(self, key: Hashable) -> int:
         return stable_hash(key, self._seed) % self._num_tasks
+
+    def assign_batch(self, keys: Iterable[Hashable]) -> List[int]:
+        """Vectorised ``h(k)`` over many keys (one list pass, memoised digests)."""
+        seed = self._seed
+        num_tasks = self._num_tasks
+        return [stable_hash(key, seed) % num_tasks for key in keys]
 
     def with_num_tasks(self, num_tasks: int) -> "UniversalHash":
         """Return a new hash over ``num_tasks`` tasks with the same seed."""
@@ -232,6 +277,18 @@ class ConsistentHashRing:
         if idx == len(self._ring):
             idx = 0
         return self._owners[idx]
+
+    def assign_batch(self, keys: Iterable[Hashable]) -> List[int]:
+        """Vectorised ring lookup over many keys."""
+        ring = self._ring
+        owners = self._owners
+        seed = self._seed
+        size = len(ring)
+        out: List[int] = []
+        for key in keys:
+            idx = bisect_right(ring, stable_hash(key, seed))
+            out.append(owners[idx if idx < size else 0])
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.criteria import HighestCostFirst, SelectionCriteria
-from repro.core.load import average_load, max_balance_indicator
+from repro.core.load import max_balance_indicator
 
 __all__ = ["LLFDResult", "least_load_fit_decreasing"]
 
@@ -134,10 +134,12 @@ def least_load_fit_decreasing(
         loads[task] += costs.get(key, 0.0)
 
     # The ceiling is fixed from the *total* load (which never changes during
-    # the run): L_max = (1 + θ_max) · L̄_{i-1}.
+    # the run): L_max = (1 + θ_max) · L̄_{i-1}.  Note the final division can
+    # still underflow for subnormal totals — the underflow-proof comparisons
+    # live in the product-form helpers of repro.core.load; at these magnitudes
+    # a zero ceiling only makes the fit checks conservative.
     total_load = sum(loads.values()) + sum(costs.get(key, 0.0) for key in candidate_set)
-    mean_load = total_load / num_tasks
-    ceiling = (1.0 + theta_max) * mean_load
+    ceiling = (1.0 + theta_max) * total_load / num_tasks
 
     # Max-heap of candidates ordered by decreasing cost (ties broken on repr
     # for determinism).  Keys displaced by Adjust are pushed back in.

@@ -30,7 +30,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Set, Tuple
 from repro.core.assignment import AssignmentFunction
 from repro.core.criteria import DEFAULT_BETA, SelectionCriteria
 from repro.core.llfd import LLFDResult, least_load_fit_decreasing
-from repro.core.load import average_load, load_from_costs, max_balance_indicator
+from repro.core.load import load_ceiling, load_from_costs
 from repro.core.migration import (
     MigrationPlan,
     build_migration_plan,
@@ -187,16 +187,18 @@ class RebalanceAlgorithm(ABC):
         observed = set(costs)
         num_tasks = assignment.num_tasks
 
-        # Working destination after the (virtual) cleaning of Phase I.
-        def working_destination(key: Key) -> int:
-            if key in cleaned:
-                return assignment.hash_destination(key)
-            return assignment(key)
-
-        working: Dict[Key, int] = {key: working_destination(key) for key in observed}
-        loads = load_from_costs(costs, lambda k: working[k], num_tasks)
-        mean = average_load(loads)
-        ceiling = (1.0 + config.theta_max) * mean
+        # Working destination after the (virtual) cleaning of Phase I; the
+        # assignment is evaluated over all observed keys in one batch and the
+        # cleaned entries are patched back to their hash destination.
+        observed_keys = list(costs)
+        working: Dict[Key, int] = dict(
+            zip(observed_keys, assignment.assign_batch(observed_keys))
+        )
+        for key in cleaned:
+            if key in working:
+                working[key] = assignment.hash_destination(key)
+        loads = load_from_costs(costs, working.__getitem__, num_tasks)
+        ceiling = load_ceiling(loads, config.theta_max)
 
         # Phase II: disassociate keys from overloaded tasks until they fit.
         candidates: Set[Key] = set()

@@ -9,7 +9,7 @@ workload (Section II of the paper).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 __all__ = ["RoutingTable", "RoutingTableOverflowError"]
 
@@ -32,7 +32,7 @@ class RoutingTable:
         means unbounded (used by MinMig/LLFD which do not control table size).
     """
 
-    __slots__ = ("_entries", "_max_size")
+    __slots__ = ("_entries", "_max_size", "_version")
 
     def __init__(
         self,
@@ -42,6 +42,7 @@ class RoutingTable:
         if max_size is not None and max_size < 0:
             raise ValueError(f"max_size must be non-negative, got {max_size}")
         self._max_size = max_size
+        self._version = 0
         self._entries: Dict[Key, int] = dict(entries) if entries else {}
         if max_size is not None and len(self._entries) > max_size:
             raise RoutingTableOverflowError(
@@ -65,6 +66,11 @@ class RoutingTable:
     def get(self, key: Key, default: Optional[int] = None) -> Optional[int]:
         """Return the destination of ``key`` or ``default`` if absent."""
         return self._entries.get(key, default)
+
+    def get_many(self, keys: Iterable[Key]) -> List[Optional[int]]:
+        """Bulk :meth:`get` over many keys (``None`` for keys without entry)."""
+        get = self._entries.get
+        return [get(key) for key in keys]
 
     def items(self) -> Iterable[Tuple[Key, int]]:
         """Iterate over ``(key, task)`` entries."""
@@ -95,23 +101,35 @@ class RoutingTable:
                 f"routing table full (max_size={self._max_size}); cannot add {key!r}"
             )
         self._entries[key] = task
+        self._version += 1
 
     def remove(self, key: Key) -> int:
         """Remove and return the destination of ``key``.
 
         Raises ``KeyError`` if the key has no entry.
         """
-        return self._entries.pop(key)
+        destination = self._entries.pop(key)
+        self._version += 1
+        return destination
 
     def discard(self, key: Key) -> Optional[int]:
         """Remove the entry for ``key`` if present, returning it (or ``None``)."""
-        return self._entries.pop(key, None)
+        destination = self._entries.pop(key, None)
+        if destination is not None:
+            self._version += 1
+        return destination
 
     def clear(self) -> None:
         """Remove every entry (the cleaning phase of MinTable)."""
         self._entries.clear()
+        self._version += 1
 
     # -- misc ---------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic edit counter; lets routing caches detect table changes."""
+        return self._version
 
     @property
     def max_size(self) -> Optional[int]:
@@ -139,6 +157,7 @@ class RoutingTable:
         table = RoutingTable(max_size=None)
         table._entries = dict(self._entries)
         table._max_size = new_max
+        table._version = self._version
         return table
 
     def as_dict(self) -> Dict[Key, int]:

@@ -105,6 +105,22 @@ class IntervalStats:
         existing = self._stats.get(key)
         self._stats[key] = addition if existing is None else existing.merged(addition)
 
+    def record_bulk(
+        self, entries: Iterable[Tuple[Key, float, float, float]]
+    ) -> None:
+        """Accumulate many ``(key, frequency, cost, memory)`` measurements.
+
+        The batch sibling of :meth:`record`, used by the fluid engine to fold a
+        whole routed snapshot into the interval with one :class:`KeyStats`
+        construction per key instead of two.
+        """
+        stats = self._stats
+        get = stats.get
+        for key, frequency, cost, memory in entries:
+            addition = KeyStats(frequency=frequency, cost=cost, memory=memory)
+            existing = get(key)
+            stats[key] = addition if existing is None else existing.merged(addition)
+
     # -- queries --------------------------------------------------------------
 
     def keys(self) -> Iterable[Key]:

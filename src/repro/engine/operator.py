@@ -126,21 +126,45 @@ class Task:
         self._interval_stats.record(tup.key, frequency=1.0, cost=cost, memory=delta)
         return outputs
 
-    def ingest_counts(self, interval: int, frequencies: Dict[Key, float]) -> None:
+    def ingest_counts(
+        self,
+        interval: int,
+        frequencies: Dict[Key, float],
+        cost_of: Optional[Dict[Key, float]] = None,
+        delta_of: Optional[Dict[Key, float]] = None,
+    ) -> None:
         """Fluid-model ingestion: account for ``frequencies`` without running
-        the event-level logic (used by the interval simulator for speed)."""
+        the event-level logic (used by the interval simulator for speed).
+
+        ``cost_of``/``delta_of`` optionally carry per-key unit cost and state
+        delta precomputed by the caller (the simulator evaluates them once per
+        snapshot and shares the maps across all tasks of the stage).
+        """
         if self._interval_stats is None or self._current_interval != interval:
             self.begin_interval(interval)
         assert self._interval_stats is not None
+        logic = self.logic
+        stateful = logic.stateful
+        state = self.state
+        entries = []
+        tuples = 0
+        total_cost = 0.0
+        total_delta = 0.0
         for key, freq in frequencies.items():
-            cost = self.logic.tuple_cost(key) * freq
-            delta = self.logic.state_delta(key) * freq
-            self._interval_stats.record(key, frequency=freq, cost=cost, memory=delta)
-            if self.logic.stateful and delta > 0:
-                self.state.accumulate(key, interval, delta)
-            self.metrics.tuples_processed += int(freq)
-            self.metrics.cost_processed += cost
-            self.metrics.state_installed += delta
+            unit_cost = cost_of[key] if cost_of is not None else logic.tuple_cost(key)
+            unit_delta = delta_of[key] if delta_of is not None else logic.state_delta(key)
+            cost = unit_cost * freq
+            delta = unit_delta * freq
+            entries.append((key, freq, cost, delta))
+            if stateful and delta > 0:
+                state.accumulate(key, interval, delta)
+            tuples += int(freq)
+            total_cost += cost
+            total_delta += delta
+        self._interval_stats.record_bulk(entries)
+        self.metrics.tuples_processed += tuples
+        self.metrics.cost_processed += total_cost
+        self.metrics.state_installed += total_delta
 
     def end_interval(self) -> IntervalStats:
         """Close the current interval and return its measurements (step 1)."""

@@ -5,6 +5,11 @@ The simulators drive every strategy through the
 :class:`~repro.core.controller.RebalanceController` (mixed hash + routing-table
 assignment, rebalanced by Mixed/MinTable/… at interval ends) so it plugs in the
 same way the baselines do.
+
+Snapshot routing goes through the batch API: ``assign_batch`` delegates to the
+assignment function's bulk evaluation and the base class memoises the per-key
+results between rebalances (the cache epoch tracks the controller's planning
+rounds and routing-table edits, so an installed plan invalidates it).
 """
 
 from __future__ import annotations
@@ -50,10 +55,16 @@ class MixedRoutingPartitioner(RebalancingPartitioner):
         self.seed = int(seed)
         self.name = config.algorithm if not config.use_compact else "compact-mixed"
 
+    cache_routes = True
+
     # -- Partitioner protocol -----------------------------------------------------
 
     def route(self, key: Key) -> int:
         return self.controller.assignment(key)
+
+    def _route_epoch(self) -> object:
+        assignment = self.controller.assignment
+        return (len(self.controller.history), assignment.routing_table.version)
 
     def plan_rebalance(self, stats: IntervalStats) -> Optional[RebalanceResult]:
         self.controller.observe(stats)

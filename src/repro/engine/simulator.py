@@ -6,10 +6,12 @@ topology against a workload source with a *fluid* per-interval model:
 
 * the workload source yields, for every interval, a ``{key: tuple count}``
   snapshot for the spout;
-* each stage routes the snapshot through its partitioner, offers the resulting
-  per-task load to the task executors (single-server fluid queues), and feeds
-  the processed share — scaled by the stage's selectivity and re-keyed — to the
-  next stage;
+* each stage routes the snapshot through its partitioner in a single
+  :meth:`~repro.baselines.base.Partitioner.route_snapshot` call (the batch
+  fast path: key→task results are memoised across intervals until the
+  partitioner rebalances), offers the resulting per-task load to the task
+  executors (single-server fluid queues), and feeds the processed share —
+  scaled by the stage's selectivity and re-keyed — to the next stage;
 * at the end of the interval the stage's partitioner sees the operator-level
   statistics and may rebalance; the migration protocol is executed on the
   in-memory task state and its pause cost is charged to the next interval;
@@ -188,26 +190,27 @@ class _StageRuntime:
         partitioner = self.stage.partitioner
         num_tasks = partitioner.num_tasks
 
-        total_cost = sum(count * logic.tuple_cost(key) for key, count in in_freqs.items())
+        # Per-key unit cost / state delta, evaluated once per snapshot and
+        # shared by every consumer below (routing, executors, statistics).
+        tuple_cost = logic.tuple_cost
+        state_delta = logic.state_delta
+        cost_of: Dict[Key, float] = {key: tuple_cost(key) for key in in_freqs}
+        delta_of: Dict[Key, float] = {key: state_delta(key) for key in in_freqs}
+
+        total_cost = sum(count * cost_of[key] for key, count in in_freqs.items())
         if self.capacity is None:
             self._calibrate(total_cost)
         assert self.capacity is not None
 
-        # Route the snapshot.
-        per_task_freqs: Dict[int, Dict[Key, float]] = {t: {} for t in range(num_tasks)}
-        for key, count in in_freqs.items():
-            if count <= 0:
-                continue
-            for task, share in partitioner.route_bulk(key, count).items():
-                bucket = per_task_freqs.setdefault(task, {})
-                bucket[key] = bucket.get(key, 0.0) + share
+        # Route the whole snapshot through the partitioner's batch fast path.
+        per_task_freqs = partitioner.route_snapshot(in_freqs, num_tasks)
 
         offered_cost: Dict[int, float] = {}
         offered_tuples: Dict[int, float] = {}
         for task_id in range(num_tasks):
             freqs = per_task_freqs.get(task_id, {})
             offered_cost[task_id] = sum(
-                count * logic.tuple_cost(key) for key, count in freqs.items()
+                count * cost_of[key] for key, count in freqs.items()
             )
             offered_tuples[task_id] = sum(freqs.values())
 
@@ -224,7 +227,7 @@ class _StageRuntime:
             executor = self.executors[task_id]
             start_backlog = executor.backlog
             freqs = per_task_freqs.get(task_id, {})
-            task.ingest_counts(interval, freqs)
+            task.ingest_counts(interval, freqs, cost_of=cost_of, delta_of=delta_of)
 
             # Merge the new arrivals into the task's pending tuple mix.
             pending = self.pending_freqs.setdefault(task_id, {})
@@ -289,15 +292,11 @@ class _StageRuntime:
 
         # Operator-level statistics for the rebalancing strategies.
         op_stats = IntervalStats(interval)
-        for key, count in in_freqs.items():
-            if count <= 0:
-                continue
-            op_stats.record(
-                key,
-                frequency=count,
-                cost=count * logic.tuple_cost(key),
-                memory=count * logic.state_delta(key),
-            )
+        op_stats.record_bulk(
+            (key, count, count * cost_of[key], count * delta_of[key])
+            for key, count in in_freqs.items()
+            if count > 0
+        )
 
         rebalance = partitioner.on_interval_end(op_stats)
         migration_seconds = 0.0

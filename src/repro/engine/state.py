@@ -31,6 +31,9 @@ class KeyedState:
             raise ValueError(f"window must be >= 1, got {window}")
         self.window = int(window)
         self._per_key: Dict[Key, SlidingWindow[Tuple[Any, float]]] = {}
+        #: Running total of all retained sizes, so :meth:`total_size` is O(1)
+        #: instead of a full scan per interval.
+        self._total_size = 0.0
 
     # -- updates -----------------------------------------------------------------
 
@@ -51,7 +54,27 @@ class KeyedState:
         if window is None:
             window = SlidingWindow(self.window)
             self._per_key[key] = window
-        window.append(interval, (payload, float(size)))
+        existing = window.get(interval)
+        replaced_size = existing[1] if existing is not None else 0.0
+        self._store(window, interval, payload, float(size), replaced_size)
+
+    def _store(
+        self,
+        window: SlidingWindow,
+        interval: int,
+        payload: Any,
+        size: float,
+        replaced_size: float,
+    ) -> None:
+        """Write one ``(payload, size)`` slot and keep ``_total_size`` exact.
+
+        ``replaced_size`` is the size previously stored for ``interval`` (0.0
+        when the slot is new); capacity-evicted slots are subtracted too.
+        """
+        evicted = window.append_evict(interval, (payload, size))
+        self._total_size += size - replaced_size
+        for _, (_, evicted_size) in evicted:
+            self._total_size -= evicted_size
 
     def accumulate(
         self,
@@ -67,17 +90,19 @@ class KeyedState:
         is a plain counter of accumulated size.  Returns the new payload.
         """
         window = self._per_key.get(key)
-        current: Tuple[Any, float] = (None, 0.0)
-        if window is not None:
-            existing = window.get(interval)
-            if existing is not None:
-                current = existing
-        old_payload, old_size = current
+        existing = window.get(interval) if window is not None else None
+        old_payload, old_size = existing if existing is not None else (None, 0.0)
         if payload_update is not None:
             new_payload = payload_update(old_payload)
         else:
             new_payload = (old_payload or 0) + delta_size
-        self.update(key, interval, new_payload, old_size + delta_size)
+        new_size = old_size + delta_size
+        if new_size < 0:
+            raise ValueError("state size must be non-negative")
+        if window is None:
+            window = SlidingWindow(self.window)
+            self._per_key[key] = window
+        self._store(window, interval, new_payload, new_size, old_size)
         return new_payload
 
     def expire(self, newest_interval: int) -> None:
@@ -85,23 +110,28 @@ class KeyedState:
         cutoff = newest_interval - self.window + 1
         stale_keys: List[Key] = []
         for key, window in self._per_key.items():
-            for interval in list(window.intervals()):
-                if interval < cutoff:
-                    # SlidingWindow evicts by capacity; force-evict by re-adding
-                    # a sentinel is unnecessary — rebuild the window without the
-                    # stale slots instead.
-                    pass
-            retained = [(i, p) for i, p in window.items() if i >= cutoff]
-            if len(retained) != len(window):
-                rebuilt: SlidingWindow[Tuple[Any, float]] = SlidingWindow(self.window)
-                for interval, payload in retained:
+            oldest = window.oldest_interval()
+            if oldest is None or oldest >= cutoff:
+                # Nothing stale for this key — the common case, since a key
+                # touched this interval was already trimmed by the window's
+                # capacity eviction.
+                continue
+            rebuilt: SlidingWindow[Tuple[Any, float]] = SlidingWindow(self.window)
+            for interval, payload in window.items():
+                if interval >= cutoff:
                     rebuilt.append(interval, payload)
-                if retained:
-                    self._per_key[key] = rebuilt
                 else:
-                    stale_keys.append(key)
+                    self._total_size -= payload[1]
+            if len(rebuilt):
+                self._per_key[key] = rebuilt
+            else:
+                stale_keys.append(key)
         for key in stale_keys:
             del self._per_key[key]
+        if not self._per_key:
+            # Re-anchor the running total so an empty state reports exactly
+            # 0.0 even after float drift at extreme size magnitudes.
+            self._total_size = 0.0
 
     # -- queries --------------------------------------------------------------------
 
@@ -134,8 +164,13 @@ class KeyedState:
         return sum(size for _, size in window.payloads())
 
     def total_size(self) -> float:
-        """Total state held by this task."""
-        return sum(self.key_size(key) for key in self._per_key)
+        """Total state held by this task (tracked incrementally; O(1)).
+
+        The running total carries ordinary float summation error relative to a
+        fresh recomputation when sizes span many orders of magnitude; it is
+        re-anchored to exactly 0.0 whenever the state empties.
+        """
+        return self._total_size
 
     def size_map(self) -> Dict[Key, float]:
         """``{key: S(k, w)}`` for every key with state on this task."""
@@ -152,10 +187,15 @@ class KeyedState:
         window = self._per_key.pop(key, None)
         if window is None:
             return []
-        return [
+        snapshot = [
             (interval, payload, size)
             for interval, (payload, size) in window.items()
         ]
+        for _, _, size in snapshot:
+            self._total_size -= size
+        if not self._per_key:
+            self._total_size = 0.0
+        return snapshot
 
     def install(self, key: Key, snapshot: KeyStateSnapshot) -> None:
         """Install a previously extracted snapshot for ``key``.
@@ -169,6 +209,7 @@ class KeyedState:
 
     def clear(self) -> None:
         self._per_key.clear()
+        self._total_size = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"KeyedState(window={self.window}, keys={len(self._per_key)})"

@@ -32,6 +32,12 @@ class SlidingWindow(Generic[T]):
         Intervals must be appended in non-decreasing order; re-appending the
         current interval replaces its payload.
         """
+        return [interval for interval, _ in self.append_evict(interval, payload)]
+
+    def append_evict(self, interval: int, payload: T) -> List[Tuple[int, T]]:
+        """Like :meth:`append` but returns the evicted ``(interval, payload)``
+        pairs, letting callers (e.g. the keyed state's incremental size
+        accounting) see what fell out of the window without a second lookup."""
         if self._slots:
             newest = next(reversed(self._slots))
             if interval < newest:
@@ -40,15 +46,20 @@ class SlidingWindow(Generic[T]):
                 )
         self._slots[interval] = payload
         self._slots.move_to_end(interval)
-        evicted: List[int] = []
+        evicted: List[Tuple[int, T]] = []
         while len(self._slots) > self.size:
-            old_interval, _ = self._slots.popitem(last=False)
-            evicted.append(old_interval)
+            evicted.append(self._slots.popitem(last=False))
         return evicted
 
     def get(self, interval: int) -> Optional[T]:
         """Payload stored for ``interval`` (``None`` when expired or unknown)."""
         return self._slots.get(interval)
+
+    def oldest_interval(self) -> Optional[int]:
+        """Oldest retained interval index (``None`` when empty)."""
+        if not self._slots:
+            return None
+        return next(iter(self._slots))
 
     def intervals(self) -> Tuple[int, ...]:
         """Retained interval indices, oldest first."""

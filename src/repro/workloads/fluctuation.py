@@ -35,14 +35,20 @@ def workload_change(
     before: Dict[int, float],
     after: Dict[int, float],
 ) -> float:
-    """``max_d |L_i(d) − L_{i−1}(d)| / L̄`` — the paper's fluctuation measure."""
+    """``max_d |L_i(d) − L_{i−1}(d)| / L̄`` — the paper's fluctuation measure.
+
+    Evaluated as ``max |Δ| / total · N`` so a subnormal total load does not
+    underflow the mean and zero out the measure (same family as the skewness
+    fix in :mod:`repro.core.load`).
+    """
     if not before:
         return 0.0
-    mean = sum(before.values()) / len(before)
-    if mean <= 0:
+    total = sum(before.values())
+    if total <= 0:
         return 0.0
     tasks = set(before) | set(after)
-    return max(abs(after.get(d, 0.0) - before.get(d, 0.0)) for d in tasks) / mean
+    change = max(abs(after.get(d, 0.0) - before.get(d, 0.0)) for d in tasks)
+    return change / total * len(before)
 
 
 def apply_fluctuation(

@@ -1,0 +1,172 @@
+"""Property tests: the batch routing API agrees with scalar routing.
+
+For every partitioner strategy, ``assign_batch``/``route_snapshot`` must
+produce exactly the destinations the scalar ``route``/``route_bulk`` calls
+would have produced — including across interval boundaries, where rebalancing
+strategies install a new assignment and the key→task memo must be dropped.
+
+Each property drives *twin* instances (identical construction, identical
+inputs): one through the scalar path, one through the batch path.  This keeps
+the comparison valid for stateful strategies (PKG's load estimates, shuffle's
+round-robin pointer) whose routing decisions depend on their own history.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DKGPartitioner,
+    HashPartitioner,
+    PartialKeyGrouping,
+    ReadjPartitioner,
+    ShufflePartitioner,
+)
+from repro.core.controller import ControllerConfig
+from repro.core.statistics import IntervalStats
+from repro.engine.routing import MixedRoutingPartitioner
+
+NUM_TASKS = 4
+
+#: strategy name -> zero-argument factory producing a fresh partitioner.
+FACTORIES = {
+    "hash": lambda: HashPartitioner(NUM_TASKS, seed=7),
+    "hash-consistent": lambda: HashPartitioner(NUM_TASKS, seed=7, consistent=True),
+    "shuffle": lambda: ShufflePartitioner(NUM_TASKS),
+    "shuffle-least-loaded": lambda: ShufflePartitioner(NUM_TASKS, least_loaded=True),
+    "pkg": lambda: PartialKeyGrouping(NUM_TASKS, seed=7),
+    "readj": lambda: ReadjPartitioner(NUM_TASKS, theta_max=0.05, seed=7),
+    "dkg": lambda: DKGPartitioner(NUM_TASKS, theta_max=0.05, seed=7),
+    "mixed": lambda: MixedRoutingPartitioner(
+        NUM_TASKS, ControllerConfig(theta_max=0.05, algorithm="mixed"), seed=7
+    ),
+    "mintable": lambda: MixedRoutingPartitioner(
+        NUM_TASKS, ControllerConfig(theta_max=0.05, algorithm="mintable"), seed=7
+    ),
+    "minmig": lambda: MixedRoutingPartitioner(
+        NUM_TASKS, ControllerConfig(theta_max=0.05, algorithm="minmig"), seed=7
+    ),
+}
+
+keys_strategy = st.lists(
+    st.one_of(st.integers(0, 30), st.sampled_from(["alpha", "beta", "gamma", "delta"])),
+    min_size=1,
+    max_size=25,
+)
+
+snapshots_strategy = st.lists(
+    st.dictionaries(
+        st.integers(0, 20),
+        st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+        min_size=1,
+        max_size=15,
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+
+def scalar_route_snapshot(partitioner, snapshot):
+    """The pre-batch-API inner loop of the simulator (reference semantics)."""
+    per_task = {task: {} for task in range(partitioner.num_tasks)}
+    for key, count in snapshot.items():
+        if count <= 0:
+            continue
+        for task, share in partitioner.route_bulk(key, count).items():
+            bucket = per_task.setdefault(task, {})
+            bucket[key] = bucket.get(key, 0.0) + share
+    return per_task
+
+
+def assert_routing_equal(scalar, batch, strategy):
+    assert set(scalar) == set(batch), strategy
+    for task in scalar:
+        assert set(scalar[task]) == set(batch[task]), (strategy, task)
+        for key, count in scalar[task].items():
+            assert batch[task][key] == pytest.approx(count), (strategy, task, key)
+
+
+@pytest.mark.parametrize("strategy", sorted(FACTORIES))
+@given(keys=keys_strategy)
+@settings(max_examples=20, deadline=None)
+def test_assign_batch_matches_scalar_route(strategy, keys):
+    scalar_part = FACTORIES[strategy]()
+    batch_part = FACTORIES[strategy]()
+    scalar = [scalar_part.route(key) for key in keys]
+    batch = batch_part.assign_batch(keys)
+    assert batch == scalar
+
+
+@pytest.mark.parametrize("strategy", sorted(FACTORIES))
+@given(snapshots=snapshots_strategy)
+@settings(max_examples=15, deadline=None)
+def test_route_snapshot_matches_scalar_loop(strategy, snapshots):
+    """Snapshot routing parity, including across rebalancing intervals.
+
+    Between snapshots both twins observe the interval statistics, so
+    rebalancing strategies (readj, dkg, mixed, …) install new assignments —
+    the batch twin's memoised routes must be invalidated and re-agree with
+    the scalar twin on the next snapshot.
+    """
+    scalar_part = FACTORIES[strategy]()
+    batch_part = FACTORIES[strategy]()
+    for interval, snapshot in enumerate(snapshots):
+        scalar = scalar_route_snapshot(scalar_part, snapshot)
+        batch = batch_part.route_snapshot(snapshot, NUM_TASKS)
+        assert_routing_equal(scalar, batch, strategy)
+        stats = IntervalStats.from_frequencies(interval, snapshot)
+        scalar_part.on_interval_end(stats)
+        batch_part.on_interval_end(stats.copy())
+
+
+@pytest.mark.parametrize("strategy", sorted(FACTORIES))
+def test_route_snapshot_rejects_mismatched_num_tasks(strategy):
+    partitioner = FACTORIES[strategy]()
+    with pytest.raises(ValueError):
+        partitioner.route_snapshot({1: 1.0}, NUM_TASKS + 1)
+
+
+def test_mixed_type_keys_do_not_collide_in_route_memo():
+    """1, 1.0, True and ±0.0 are equal as dict keys but hash differently —
+    the route memo must not conflate them (regression)."""
+    keys = [1, 1.0, True, 0.0, -0.0, "1"]
+    part = FACTORIES["hash"]()
+    batch = part.assign_batch(keys)
+    fresh = FACTORIES["hash"]()
+    assert batch == [fresh.route(key) for key in keys]
+
+
+def test_mixed_type_keys_do_not_collide_in_pkg_candidates():
+    pkg = FACTORIES["pkg"]()
+    pkg.candidate_tasks(2)  # prime the cache with the int key
+    fresh = FACTORIES["pkg"]()
+    assert pkg.candidate_tasks(2.0) == fresh.candidate_tasks(2.0)
+    assert pkg.candidate_tasks(True) == fresh.candidate_tasks(True)
+
+
+def test_route_cache_invalidated_on_scale_out():
+    partitioner = HashPartitioner(NUM_TASKS, seed=1)
+    keys = list(range(50))
+    before = partitioner.assign_batch(keys)
+    partitioner.scale_out(NUM_TASKS * 3)
+    after = partitioner.assign_batch(keys)
+    fresh = HashPartitioner(NUM_TASKS * 3, seed=1)
+    assert after == [fresh.route(key) for key in keys]
+    assert any(a != b for a, b in zip(before, after))
+
+
+def test_route_cache_invalidated_on_rebalance():
+    """A skewed snapshot forces a rebalance; memoised routes must follow F'."""
+    partitioner = MixedRoutingPartitioner(
+        NUM_TASKS, ControllerConfig(theta_max=0.01, algorithm="mixed"), seed=3
+    )
+    snapshot = {key: 1.0 for key in range(40)}
+    snapshot[0] = 10_000.0
+    partitioner.route_snapshot(snapshot)
+    result = partitioner.on_interval_end(IntervalStats.from_frequencies(0, snapshot))
+    assert result is not None, "the skewed snapshot should trigger a rebalance"
+    routed = partitioner.route_snapshot(snapshot)
+    assignment = partitioner.assignment
+    for task, freqs in routed.items():
+        for key in freqs:
+            assert assignment(key) == task
