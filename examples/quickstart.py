@@ -1,26 +1,27 @@
 #!/usr/bin/env python3
-"""Quickstart: balance a skewed key-partitioned operator with the Mixed algorithm.
+"""Quickstart: the three layers of the public experiment API.
 
-The script builds a Zipf-skewed workload, shows how imbalanced plain hashing
-leaves the downstream tasks, then lets the paper's rebalance controller (Mixed
-algorithm, bounded routing table) construct a new assignment function and
-reports the balance it achieves, the migration it required and the size of the
-routing table it needed.
+1. **Strategy registry** — build the paper's Mixed rebalancer by name and
+   watch it balance a skewed Zipf workload interval by interval.
+2. **ExperimentSpec runner** — run one figure of the evaluation declaratively.
+3. **ResultsStore** — persist the run and read it back.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import AssignmentFunction, RebalanceController
-from repro.core.controller import ControllerConfig
+from repro import get_strategy
 from repro.core.load import load_from_costs, max_balance_indicator, max_skewness
 from repro.core.statistics import IntervalStats
+from repro.experiments import ExperimentSpec, ResultsStore
 from repro.workloads import ZipfWorkload
 
 
-def main() -> None:
+def balance_one_operator() -> None:
+    """Layer 1: a registry-built strategy balancing a skewed operator."""
     num_tasks = 10
+    num_keys = 20_000
     workload = ZipfWorkload(
-        num_keys=20_000,
+        num_keys=num_keys,
         skew=0.85,
         tuples_per_interval=200_000,
         fluctuation=0.8,
@@ -29,38 +30,62 @@ def main() -> None:
         seed=7,
     )
 
-    assignment = AssignmentFunction.hashed(num_tasks, seed=7)
-    controller = RebalanceController(
-        assignment,
-        ControllerConfig(theta_max=0.05, max_table_size=2_000, algorithm="mixed", window=1),
+    # Any registered strategy builds the same way; try "mintable" or "readj".
+    partitioner = get_strategy("mixed").build(
+        num_tasks, theta_max=0.05, max_table_size=2_000, window=1, seed=7
     )
 
     print(f"{'interval':>8} | {'skew before':>11} | {'skew after':>10} | "
           f"{'migrated %':>10} | {'table':>6} | {'plan ms':>8}")
     print("-" * 66)
+    loads_after = {}
     for index, snapshot in enumerate(workload.take(5)):
         stats = IntervalStats.from_frequencies(index, snapshot)
-        loads_before = load_from_costs(
-            {k: s.cost for k, s in stats.items()}, controller.assignment, num_tasks
-        )
-        controller.observe(stats)
-        result = controller.maybe_rebalance()
-        loads_after = load_from_costs(
-            {k: s.cost for k, s in stats.items()}, controller.assignment, num_tasks
-        )
+        costs = {key: stat.cost for key, stat in stats.items()}
+        loads_before = load_from_costs(costs, partitioner.route, num_tasks)
+        result = partitioner.on_interval_end(stats)
+        loads_after = load_from_costs(costs, partitioner.route, num_tasks)
         print(
             f"{index:>8} | {max_skewness(loads_before):>11.3f} | "
             f"{max_skewness(loads_after):>10.3f} | "
             f"{(result.migration_fraction * 100 if result else 0):>10.2f} | "
-            f"{controller.assignment.routing_table.size:>6} | "
+            f"{partitioner.routing_table_size:>6} | "
             f"{(result.generation_time * 1e3 if result else 0):>8.1f}"
         )
 
     print()
     print(f"max residual imbalance θ = {max_balance_indicator(loads_after):.4f} "
-          f"(target θ_max = {controller.config.theta_max})")
-    print(f"routing table holds {controller.assignment.routing_table.size} of "
-          f"{20_000} keys — every other key is still routed by the hash function.")
+          f"(target θ_max = 0.05)")
+    print(f"routing table holds {partitioner.routing_table_size} of "
+          f"{num_keys} keys — every other key is still routed by the hash function.")
+
+
+def run_one_figure() -> None:
+    """Layers 2 & 3: a declarative figure run, persisted and reloaded."""
+    spec = ExperimentSpec(
+        "fig18",
+        scale="tiny",
+        overrides={"num_keys": 2_000, "tuples_per_interval": 20_000},
+        params={"adjustments": 5, "thetas": [0.02, 0.15]},
+        seed=7,
+    )
+    store = ResultsStore("results")
+    outcome = spec.run(store=store)
+    print()
+    print(outcome.result.to_text())
+    print()
+
+    reloaded = store.load(outcome.metadata.run_id)
+    meta = reloaded.metadata
+    print(f"saved and reloaded run {meta.run_id}: {len(reloaded.result.rows)} rows, "
+          f"scale={meta.scale}, seed={meta.seed}, wall={meta.wall_time_seconds:.2f}s")
+    print("re-run it any time with:  python -m repro run "
+          f"results/{meta.run_id}/run.json")
+
+
+def main() -> None:
+    balance_one_operator()
+    run_one_figure()
 
 
 if __name__ == "__main__":

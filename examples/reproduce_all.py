@@ -1,19 +1,21 @@
 #!/usr/bin/env python3
-"""Regenerate every figure of the paper's evaluation and print the series.
+"""Regenerate every figure of the paper's evaluation through the spec runner.
 
 Usage:
     python examples/reproduce_all.py [tiny|small|paper] [fig07 fig08 ...]
 
-Without arguments every figure driver runs at the "tiny" preset (a couple of
-minutes total).  Passing "small" or "paper" scales the workloads up; passing
-figure ids restricts the run to those figures.
+Without arguments every registered figure runs at the "tiny" preset (a couple
+of minutes total).  Passing "small" or "paper" scales the workloads up;
+passing figure ids restricts the run to those figures.  Every run is
+persisted under ./results (inspect them later with `python -m repro list
+--runs` / `python -m repro report <run-id>`).
 """
 
 import sys
-import time
 
-from repro.experiments import figures
+from repro.experiments import ExperimentSpec, ResultsStore, run_batch
 from repro.experiments.config import SCALES
+from repro.experiments.specs import experiment_names
 
 
 def main() -> None:
@@ -23,26 +25,31 @@ def main() -> None:
     for arg in args:
         if arg in SCALES:
             scale = arg
-        elif arg in figures.ALL_FIGURES:
+        elif arg in experiment_names():
             requested.append(arg)
         else:
             raise SystemExit(
                 f"unknown argument {arg!r}; scales: {sorted(SCALES)}, "
-                f"figures: {sorted(figures.ALL_FIGURES)}"
+                f"figures: {experiment_names()}"
             )
-    targets = requested or sorted(figures.ALL_FIGURES)
+    targets = requested or experiment_names()
 
     print(f"Reproducing {len(targets)} figure(s) at scale '{scale}'")
     print("=" * 78)
-    for figure_id in targets:
-        driver = figures.ALL_FIGURES[figure_id]
-        start = time.perf_counter()
-        result = driver(scale)
-        elapsed = time.perf_counter() - start
+
+    def report(outcome) -> None:
+        meta = outcome.metadata
         print()
-        print(result.to_text())
-        print(f"[{figure_id} completed in {elapsed:.1f}s]")
+        print(outcome.result.to_text())
+        print(f"[{meta.experiment} completed in {meta.wall_time_seconds:.1f}s "
+              f"-> results/{meta.run_id}]")
         print("=" * 78)
+
+    run_batch(
+        [ExperimentSpec(name, scale=scale) for name in targets],
+        store=ResultsStore("results"),
+        on_result=report,
+    )
 
 
 if __name__ == "__main__":

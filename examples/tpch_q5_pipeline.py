@@ -9,8 +9,8 @@ time shows how each strategy copes with the resulting intra-operator imbalance.
 Run with:  python examples/tpch_q5_pipeline.py
 """
 
+from repro import get_strategy
 from repro.engine import PipelineSimulator, SimulationConfig
-from repro.experiments.harness import build_partitioner
 from repro.operators import build_q5_topology
 from repro.workloads import TPCHStreamWorkload, generate_tpch
 
@@ -32,9 +32,9 @@ def main() -> None:
 
     series = {}
     for strategy in ("storm", "readj", "mixed"):
-        def factory(stage_name: str, parallelism: int, _strategy=strategy):
-            return build_partitioner(
-                _strategy, parallelism, theta_max=0.1, max_table_size=2_000, window=5, seed=5
+        def factory(stage_name: str, parallelism: int, _spec=get_strategy(strategy)):
+            return _spec.build(
+                parallelism, theta_max=0.1, max_table_size=2_000, window=5, seed=5
             )
 
         topology = build_q5_topology(dataset, factory, parallelism=8, window=5)

@@ -29,6 +29,13 @@ from repro.core.hashing import ConsistentHashRing, UniversalHash
 from repro.core.planner import RebalanceResult, get_algorithm, list_algorithms
 from repro.core.routing_table import RoutingTable
 from repro.core.statistics import IntervalStats, StatisticsStore
+from repro.core.strategy import (
+    StrategySpec,
+    get_strategy,
+    list_strategies,
+    register_strategy,
+    strategy_names,
+)
 
 __all__ = [
     "AssignmentFunction",
@@ -38,9 +45,14 @@ __all__ = [
     "RebalanceResult",
     "RoutingTable",
     "StatisticsStore",
+    "StrategySpec",
     "UniversalHash",
     "get_algorithm",
+    "get_strategy",
     "list_algorithms",
+    "list_strategies",
+    "register_strategy",
+    "strategy_names",
 ]
 
 __version__ = "1.0.0"

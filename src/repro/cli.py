@@ -1,0 +1,253 @@
+"""``python -m repro`` — reproduce, persist and inspect experiment runs.
+
+Commands::
+
+    python -m repro run fig07 --scale tiny            # run one figure, save it
+    python -m repro run myspec.json --seed 3          # run a JSON spec file
+    python -m repro run all --scale tiny              # every registered figure
+    python -m repro list                              # experiments + strategies
+    python -m repro list --runs                       # stored runs
+    python -m repro report                            # render the latest run
+    python -m repro report fig07-20260727-...-s0      # render one stored run
+
+``run`` writes one directory per run under ``--results-dir`` (default
+``./results``) containing ``run.json`` (spec + metadata + rows, re-runnable
+with ``repro run <dir>/run.json``) and ``report.txt`` (the rendered table).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_value(text: str) -> Any:
+    """Best-effort literal parsing: JSON first, bare comma-lists, else string."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        pass
+    if "," in text:
+        return [_parse_value(part) for part in text.split(",") if part]
+    return text
+
+
+def _parse_assignments(pairs: Sequence[str], flag: str) -> Dict[str, Any]:
+    values: Dict[str, Any] = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"{flag} expects KEY=VALUE, got {pair!r}")
+        values[key] = _parse_value(value)
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run and inspect the paper-reproduction experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    runp = sub.add_parser(
+        "run", help="run one experiment (or 'all'), or a JSON spec file"
+    )
+    runp.add_argument(
+        "experiment",
+        help="experiment name (e.g. fig07), 'all', or a path to a spec .json",
+    )
+    runp.add_argument("--scale", default=None, help="scale preset (tiny|small|paper)")
+    runp.add_argument("--seed", type=int, default=None, help="master RNG seed")
+    runp.add_argument(
+        "--strategies",
+        default=None,
+        help="comma-separated strategy list handed to the driver",
+    )
+    runp.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="override one ExperimentScale field (repeatable), e.g. --set num_keys=5000",
+    )
+    runp.add_argument(
+        "--param",
+        dest="params",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="driver parameter (repeatable), e.g. --param thetas=[0.02,0.3]",
+    )
+    runp.add_argument(
+        "--results-dir", default="results", help="ResultsStore root (default ./results)"
+    )
+    runp.add_argument(
+        "--no-save", action="store_true", help="print the report without persisting"
+    )
+    runp.add_argument(
+        "--quiet", action="store_true", help="only print run ids, not full tables"
+    )
+
+    listp = sub.add_parser("list", help="list experiments, strategies and stored runs")
+    listp.add_argument("--runs", action="store_true", help="only list stored runs")
+    listp.add_argument(
+        "--results-dir", default="results", help="ResultsStore root (default ./results)"
+    )
+
+    reportp = sub.add_parser("report", help="render a stored run (latest by default)")
+    reportp.add_argument(
+        "run_id", nargs="?", default=None, help="stored run id (default: latest)"
+    )
+    reportp.add_argument(
+        "--results-dir", default="results", help="ResultsStore root (default ./results)"
+    )
+    return parser
+
+
+def _specs_for(args: argparse.Namespace) -> List[Any]:
+    """Build the spec list the ``run`` command executes."""
+    from repro.experiments.specs import ExperimentSpec, experiment_names
+
+    overrides = _parse_assignments(args.overrides, "--set")
+    params = _parse_assignments(args.params, "--param")
+    strategies: Optional[List[str]] = None
+    if args.strategies is not None:
+        strategies = [name for name in args.strategies.split(",") if name]
+
+    target = args.experiment
+    path = Path(target)
+    if target.endswith(".json") or path.is_file():
+        if not path.is_file():
+            raise SystemExit(f"spec file not found: {target}")
+        try:
+            payload = json.loads(path.read_text())
+            if "spec" in payload and "experiment" not in payload:
+                payload = payload["spec"]  # a stored run.json wraps its spec
+            base = ExperimentSpec.from_dict(payload)
+        except (ValueError, KeyError) as exc:
+            raise SystemExit(f"invalid spec file {target}: {exc}")
+        names = [None]
+    elif target == "all":
+        base = ExperimentSpec("all")
+        names = experiment_names()
+    else:
+        if target not in experiment_names():
+            raise SystemExit(
+                f"unknown experiment {target!r}; known: {', '.join(experiment_names())} "
+                "(or 'all', or a spec .json path)"
+            )
+        base = ExperimentSpec(target)
+        names = [target]
+
+    specs = []
+    for name in names:
+        specs.append(
+            ExperimentSpec(
+                experiment=name if name is not None else base.experiment,
+                scale=args.scale if args.scale is not None else base.scale,
+                overrides={**dict(base.overrides), **overrides},
+                seed=args.seed if args.seed is not None else base.seed,
+                strategies=strategies if strategies is not None else base.strategies,
+                sweep=base.sweep,
+                params={**dict(base.params), **params},
+            )
+        )
+    return specs
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.specs import run_batch
+    from repro.experiments.store import ResultsStore
+
+    store = None if args.no_save else ResultsStore(args.results_dir)
+    specs = _specs_for(args)
+
+    def report(outcome) -> None:
+        meta = outcome.metadata
+        if not args.quiet:
+            print(outcome.result.to_text())
+        location = (
+            f" -> {Path(args.results_dir) / meta.run_id}" if store is not None else ""
+        )
+        print(
+            f"[{meta.experiment} scale={meta.scale} seed={meta.seed} "
+            f"{meta.wall_time_seconds:.1f}s run={meta.run_id}{location}]"
+        )
+
+    run_batch(specs, store=store, on_result=report)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments.store import ResultsStore
+
+    if not args.runs:
+        from repro.core.strategy import list_strategies
+        from repro.experiments.specs import list_experiments
+
+        print("experiments:")
+        for definition in list_experiments():
+            print(f"  {definition.name:<8} {definition.description}")
+        print()
+        print("strategies:")
+        for spec in list_strategies():
+            tunables = ", ".join(spec.tunables) if spec.tunables else "-"
+            print(f"  {spec.name:<10} {spec.description}  [tunables: {tunables}]")
+        print()
+
+    store = ResultsStore(args.results_dir)
+    runs = store.list_runs()
+    if not runs:
+        print(f"no stored runs under {store.root}/")
+        return 0
+    print(f"runs ({store.root}/):")
+    for meta in runs:
+        print(
+            f"  {meta.run_id:<40} {meta.figure:<8} scale={meta.scale:<6} "
+            f"seed={meta.seed} {meta.wall_time_seconds:6.1f}s {meta.created_at}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.store import ResultsStore
+
+    store = ResultsStore(args.results_dir)
+    run_id = args.run_id
+    if run_id is None:
+        run_id = store.latest_run_id()
+        if run_id is None:
+            raise SystemExit(f"no stored runs under {store.root}/")
+    try:
+        outcome = store.load(run_id)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+    meta = outcome.metadata
+    print(
+        f"run {meta.run_id} (experiment={meta.experiment}, scale={meta.scale}, "
+        f"seed={meta.seed}, git={meta.git_rev or 'n/a'}, "
+        f"wall={meta.wall_time_seconds:.1f}s, at={meta.created_at})"
+    )
+    print(outcome.result.to_text())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -10,8 +10,8 @@ that the figure drivers print.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 __all__ = ["IntervalMetrics", "MetricsCollector"]
 
@@ -136,6 +136,34 @@ class MetricsCollector:
             "generation_time_mean": self.mean_generation_time,
             "rebalances": float(self.rebalance_count),
         }
+
+    # -- persistence ----------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation: label plus one record per interval."""
+        records = []
+        for record in self.intervals:
+            row = asdict(record)
+            # JSON object keys are strings; keep task ids recoverable.
+            row["per_task_load"] = {
+                str(task): load for task, load in record.per_task_load.items()
+            }
+            records.append(row)
+        return {"label": self.label, "intervals": records}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MetricsCollector":
+        """Inverse of :meth:`to_dict`."""
+        collector = cls(label=payload.get("label", ""))
+        known = {f.name for f in fields(IntervalMetrics)}
+        for row in payload.get("intervals", []):
+            values = {key: value for key, value in row.items() if key in known}
+            values["per_task_load"] = {
+                int(task): load
+                for task, load in (row.get("per_task_load") or {}).items()
+            }
+            collector.record(IntervalMetrics(**values))
+        return collector
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MetricsCollector(label={self.label!r}, intervals={len(self.intervals)})"

@@ -1,0 +1,161 @@
+"""Built-in strategy declarations for the :mod:`repro.core.strategy` registry.
+
+One :class:`~repro.core.strategy.StrategySpec` per evaluation label: the
+static/baseline partitioners, the paper's mixed-routing controller variants
+(one per core rebalancing algorithm) and the compact-representation
+controller.  Importing this module populates the registry; the accessors in
+:mod:`repro.core.strategy` do so lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines import (
+    DKGPartitioner,
+    HashPartitioner,
+    PartialKeyGrouping,
+    Partitioner,
+    ReadjPartitioner,
+    ShufflePartitioner,
+)
+from repro.core.controller import ControllerConfig
+from repro.core.criteria import DEFAULT_BETA
+from repro.core.strategy import register_strategy
+from repro.engine.routing import MixedRoutingPartitioner
+
+__all__: list = []
+
+
+@register_strategy(
+    "storm",
+    tunables=("seed",),
+    description="static universal hashing (Storm's default field grouping)",
+    theta_sensitive=False,
+)
+def _build_storm(num_tasks: int, *, seed: int = 0) -> Partitioner:
+    return HashPartitioner(num_tasks, seed=seed)
+
+
+@register_strategy(
+    "ideal",
+    description="shuffle grouping; the key-oblivious upper bound of Fig. 13",
+    theta_sensitive=False,
+)
+def _build_ideal(num_tasks: int) -> Partitioner:
+    return ShufflePartitioner(num_tasks)
+
+
+@register_strategy(
+    "pkg",
+    tunables=("seed",),
+    description="Partial Key Grouping (two-choice key splitting)",
+    theta_sensitive=False,
+)
+def _build_pkg(num_tasks: int, *, seed: int = 0) -> Partitioner:
+    return PartialKeyGrouping(num_tasks, seed=seed)
+
+
+@register_strategy(
+    "readj",
+    tunables=("theta_max", "readj_sigma", "window", "seed"),
+    description="Readj baseline (pairwise load re-adjustment)",
+    rebalancing=True,
+)
+def _build_readj(
+    num_tasks: int,
+    *,
+    theta_max: float = 0.08,
+    readj_sigma: float = 2.0,
+    window: int = 1,
+    seed: int = 0,
+) -> Partitioner:
+    return ReadjPartitioner(
+        num_tasks, theta_max=theta_max, sigma=readj_sigma, window=window, seed=seed
+    )
+
+
+@register_strategy(
+    "dkg",
+    tunables=("theta_max", "window", "seed"),
+    description="DKG baseline (distribution-aware key grouping)",
+    rebalancing=True,
+)
+def _build_dkg(
+    num_tasks: int, *, theta_max: float = 0.08, window: int = 1, seed: int = 0
+) -> Partitioner:
+    return DKGPartitioner(num_tasks, theta_max=theta_max, window=window, seed=seed)
+
+
+def _controller_builder(algorithm: str):
+    def build(
+        num_tasks: int,
+        *,
+        theta_max: float = 0.08,
+        max_table_size: Optional[int] = None,
+        beta: float = DEFAULT_BETA,
+        window: int = 1,
+        seed: int = 0,
+    ) -> Partitioner:
+        config = ControllerConfig(
+            theta_max=theta_max,
+            max_table_size=max_table_size,
+            beta=beta,
+            window=window,
+            algorithm=algorithm,
+        )
+        return MixedRoutingPartitioner(num_tasks, config, seed=seed)
+
+    return build
+
+
+_CONTROLLER_DESCRIPTIONS = {
+    "mixed": "the paper's Mixed algorithm behind the mixed-routing controller",
+    "mintable": "MinTable (smallest routing table) controller variant",
+    "minmig": "MinMig (no cleaning, minimum migration) controller variant",
+    "mixedbf": "brute-force Mixed (exhaustive cleaning trials) controller variant",
+    "simple": "single-criterion simple rebalancer controller variant",
+}
+
+for _algorithm, _description in _CONTROLLER_DESCRIPTIONS.items():
+    register_strategy(
+        _algorithm,
+        tunables=("theta_max", "max_table_size", "beta", "window", "seed"),
+        description=_description,
+        core_algorithm=_algorithm,
+        rebalancing=True,
+    )(_controller_builder(_algorithm))
+
+
+@register_strategy(
+    "compact",
+    tunables=(
+        "theta_max",
+        "max_table_size",
+        "beta",
+        "window",
+        "seed",
+        "discretization_degree",
+    ),
+    description="Mixed planned over the compact 6-dimensional representation",
+    rebalancing=True,
+)
+def _build_compact(
+    num_tasks: int,
+    *,
+    theta_max: float = 0.08,
+    max_table_size: Optional[int] = None,
+    beta: float = DEFAULT_BETA,
+    window: int = 1,
+    seed: int = 0,
+    discretization_degree: Optional[int] = 8,
+) -> Partitioner:
+    config = ControllerConfig(
+        theta_max=theta_max,
+        max_table_size=max_table_size,
+        beta=beta,
+        window=window,
+        use_compact=True,
+        discretization_degree=discretization_degree,
+    )
+    return MixedRoutingPartitioner(num_tasks, config, seed=seed)

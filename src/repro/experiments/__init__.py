@@ -1,17 +1,24 @@
-"""Benchmark harness regenerating the paper's evaluation (Figs. 7–21).
+"""Experiment harness regenerating the paper's evaluation (Figs. 7–21).
 
-Each figure of the evaluation and appendix has a driver in
-:mod:`repro.experiments.figures` that sweeps the same parameter the paper does
-and returns an :class:`~repro.experiments.reporting.ExperimentResult` holding
-the series the figure plots.  The drivers accept a ``scale`` preset so that the
-pytest benchmarks can run them at laptop scale while the same code path scales
-up to paper-sized key domains.
+The public experiment API has three layers:
+
+* the **strategy registry** (:mod:`repro.core.strategy`) naming every
+  partitioning strategy and its tunables;
+* **ExperimentSpec + runner** (:mod:`repro.experiments.specs`): every figure
+  of the evaluation is a registered experiment that can be run declaratively
+  — pick a scale preset, override knobs, choose strategies and sweep axes;
+* the **ResultsStore** (:mod:`repro.experiments.store`): JSON-per-run
+  persistence with run metadata (scale, seed, git revision, wall time) and a
+  loader for cross-run comparison.  ``python -m repro`` exposes all of it on
+  the command line.
 
 Quick use::
 
-    from repro.experiments import figures
-    result = figures.fig08_vary_task_instances(scale="small")
-    print(result.to_text())
+    from repro.experiments import ExperimentSpec, ResultsStore, run
+
+    store = ResultsStore("results")
+    outcome = run(ExperimentSpec("fig08", scale="small"), store=store)
+    print(outcome.result.to_text())
 """
 
 from repro.experiments.config import SCALES, ExperimentScale, get_scale
@@ -21,16 +28,49 @@ from repro.experiments.harness import (
     run_planner_sequence,
     run_simulation,
 )
-from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.reporting import ExperimentResult, format_table, mean
+from repro.experiments.specs import (
+    ExperimentRun,
+    ExperimentSpec,
+    RunMetadata,
+    experiment_names,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+    run,
+    run_batch,
+)
+from repro.experiments.store import ResultsStore
+from repro.experiments.sweeps import (
+    percentile_points,
+    planner_sweep,
+    simulate,
+    zipf_workload,
+)
 
 __all__ = [
     "ExperimentResult",
+    "ExperimentRun",
     "ExperimentScale",
+    "ExperimentSpec",
     "PlannerRun",
+    "ResultsStore",
+    "RunMetadata",
     "SCALES",
     "build_partitioner",
+    "experiment_names",
     "format_table",
+    "get_experiment",
     "get_scale",
+    "list_experiments",
+    "mean",
+    "percentile_points",
+    "planner_sweep",
+    "register_experiment",
+    "run",
+    "run_batch",
     "run_planner_sequence",
     "run_simulation",
+    "simulate",
+    "zipf_workload",
 ]

@@ -1,29 +1,45 @@
-"""One driver per figure of the paper's evaluation and appendix (Figs. 7–21).
+"""One experiment per figure of the paper's evaluation and appendix (Figs. 7–21).
 
-Every driver returns an :class:`~repro.experiments.reporting.ExperimentResult`
-whose rows are the data points of the corresponding figure.  The ``scale``
-argument selects a workload-size preset (see
-:mod:`repro.experiments.config`) — the "tiny" and "small" presets preserve the
-shape of the curves at laptop runtimes, the "paper" preset matches Tab. II.
+Every figure is registered with
+:func:`~repro.experiments.specs.register_experiment` under its id
+(``"fig07"`` … ``"fig21"``), so it can be run declaratively::
+
+    from repro.experiments import ExperimentSpec, run
+    outcome = run(ExperimentSpec("fig08", scale="tiny"))
+    print(outcome.result.to_text())
+
+or from the command line (``python -m repro run fig08 --scale tiny``).  The
+builders lean on the shared sweep helpers in
+:mod:`repro.experiments.sweeps`; each returns an
+:class:`~repro.experiments.reporting.ExperimentResult` whose rows are the
+data points of the corresponding figure.  The ``scale`` preset (see
+:mod:`repro.experiments.config`) sizes the workloads — "tiny" and "small"
+preserve the shape of the curves at laptop runtimes, "paper" matches Tab. II.
+
+The historical driver functions (``fig07_hash_skewness`` …) survive as thin
+wrappers that build an :class:`~repro.experiments.specs.ExperimentSpec` and
+run it; new code should construct specs directly.
 """
 
-from __future__ import annotations
+from typing import Dict, List, Optional, Sequence
 
-from typing import Dict, Iterable, List, Optional, Sequence
-
-import numpy as np
-
-from repro.baselines import HashPartitioner
 from repro.core.load import load_from_costs, max_skewness
-from repro.experiments.config import ExperimentScale, get_scale
-from repro.experiments.harness import run_planner_sequence, run_simulation
+from repro.core.strategy import get_strategy
+from repro.experiments.config import ExperimentScale
+from repro.experiments.harness import run_planner_sequence
 from repro.experiments.reporting import ExperimentResult
+from repro.experiments.specs import ExperimentSpec, register_experiment
+from repro.experiments.sweeps import (
+    percentile_points,
+    planner_sweep,
+    simulate,
+    zipf_workload,
+)
 from repro.operators import WindowedSelfJoin, WordCountOperator, build_q5_topology
 from repro.workloads import (
     SocialFeedWorkload,
     StockExchangeWorkload,
     TPCHStreamWorkload,
-    ZipfWorkload,
     generate_tpch,
 )
 
@@ -49,27 +65,9 @@ __all__ = [
 _PERCENTILES = (20, 40, 60, 80, 100)
 
 
-def _zipf_workload(
-    scale: ExperimentScale,
-    *,
-    num_keys: Optional[int] = None,
-    num_tasks: Optional[int] = None,
-    fluctuation: Optional[float] = None,
-    intervals: Optional[int] = None,
-    skew: Optional[float] = None,
-    seed: int = 0,
-) -> List[Dict[int, float]]:
-    """Materialise a Zipf workload with the scale's defaults and overrides."""
-    workload = ZipfWorkload(
-        num_keys=num_keys if num_keys is not None else scale.num_keys,
-        skew=skew if skew is not None else scale.skew,
-        tuples_per_interval=scale.tuples_per_interval,
-        fluctuation=fluctuation if fluctuation is not None else scale.fluctuation,
-        num_tasks=num_tasks if num_tasks is not None else scale.num_tasks,
-        intervals=intervals if intervals is not None else scale.intervals,
-        seed=seed,
-    )
-    return workload.take(intervals if intervals is not None else scale.intervals)
+def _legacy(experiment: str, scale, seed: int, **params) -> ExperimentResult:
+    """Run a figure through the spec runner with legacy keyword arguments."""
+    return ExperimentSpec(experiment, scale=scale, seed=seed, params=params).run().result
 
 
 # ---------------------------------------------------------------------------
@@ -77,8 +75,12 @@ def _zipf_workload(
 # ---------------------------------------------------------------------------
 
 
-def fig07_hash_skewness(
-    scale: str | ExperimentScale = "small",
+@register_experiment(
+    "fig07",
+    description="CDF of per-interval workload skewness under hash routing",
+)
+def _fig07(
+    scale: ExperimentScale,
     *,
     task_counts: Sequence[int] = (5, 10, 20, 40),
     key_domains: Optional[Sequence[int]] = None,
@@ -89,7 +91,6 @@ def fig07_hash_skewness(
     (a) varies the number of task instances at the default key-domain size;
     (b) varies the key-domain size at the default task count.
     """
-    scale = get_scale(scale)
     if key_domains is None:
         key_domains = (
             max(scale.num_keys // 20, 100),
@@ -104,34 +105,31 @@ def fig07_hash_skewness(
     )
 
     def skew_samples(num_keys: int, num_tasks: int) -> List[float]:
-        partitioner = HashPartitioner(num_tasks, seed=seed)
-        samples: List[float] = []
-        for snapshot in _zipf_workload(
-            scale, num_keys=num_keys, num_tasks=num_tasks, fluctuation=0.5, seed=seed
-        ):
-            loads = load_from_costs(snapshot, partitioner.route, num_tasks)
-            samples.append(max_skewness(loads))
-        return samples
+        partitioner = get_strategy("storm").build(num_tasks, seed=seed)
+        return [
+            max_skewness(load_from_costs(snapshot, partitioner.route, num_tasks))
+            for snapshot in zipf_workload(
+                scale, num_keys=num_keys, num_tasks=num_tasks, fluctuation=0.5, seed=seed
+            )
+        ]
 
     for num_tasks in task_counts:
-        samples = sorted(skew_samples(scale.num_keys, num_tasks))
-        for percentile in _PERCENTILES:
-            index = max(0, int(np.ceil(percentile / 100 * len(samples))) - 1)
+        samples = skew_samples(scale.num_keys, num_tasks)
+        for percentile, skewness in percentile_points(samples, _PERCENTILES):
             result.add_row(
                 panel="a",
                 series=f"ND={num_tasks}",
                 percentile=percentile,
-                skewness=samples[index],
+                skewness=skewness,
             )
     for num_keys in key_domains:
-        samples = sorted(skew_samples(num_keys, scale.num_tasks))
-        for percentile in _PERCENTILES:
-            index = max(0, int(np.ceil(percentile / 100 * len(samples))) - 1)
+        samples = skew_samples(num_keys, scale.num_tasks)
+        for percentile, skewness in percentile_points(samples, _PERCENTILES):
             result.add_row(
                 panel="b",
                 series=f"K={num_keys}",
                 percentile=percentile,
-                skewness=samples[index],
+                skewness=skewness,
             )
     result.notes = (
         "Expected shape: skewness grows with the number of task instances and "
@@ -140,16 +138,36 @@ def fig07_hash_skewness(
     return result
 
 
+def fig07_hash_skewness(
+    scale="small",
+    *,
+    task_counts: Sequence[int] = (5, 10, 20, 40),
+    key_domains: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig07`` experiment."""
+    return _legacy("fig07", scale, seed, task_counts=task_counts, key_domains=key_domains)
+
+
 # ---------------------------------------------------------------------------
 # Figs. 8-10 — planner sweeps over N_D, theta_max and K (Mixed vs MinTable)
 # ---------------------------------------------------------------------------
 
 
-def _planner_sweep(
+def _planner_metric_columns(run) -> Dict[str, float]:
+    return {
+        "avg_generation_time_ms": run.avg_generation_time * 1e3,
+        "migration_cost_pct": run.avg_migration_fraction * 100,
+        "avg_table_size": run.avg_table_size,
+        "rebalances": run.rebalances,
+    }
+
+
+def _nd_theta_k_sweep(
     scale: ExperimentScale,
     result: ExperimentResult,
     *,
-    algorithms: Sequence[str],
+    strategies: Sequence[str],
     windows: Sequence[int],
     sweep_name: str,
     sweep_values: Sequence,
@@ -158,46 +176,48 @@ def _planner_sweep(
     num_keys_of=None,
     seed: int = 0,
 ) -> ExperimentResult:
-    for value in sweep_values:
-        num_tasks = num_tasks_of(value) if num_tasks_of else scale.num_tasks
-        theta = theta_of(value) if theta_of else scale.theta_max
-        num_keys = num_keys_of(value) if num_keys_of else scale.num_keys
-        for window in windows:
-            workload = _zipf_workload(
-                scale, num_keys=num_keys, num_tasks=num_tasks, seed=seed
-            )
-            for algorithm in algorithms:
-                run = run_planner_sequence(
-                    algorithm,
-                    workload,
-                    num_tasks=num_tasks,
-                    theta_max=theta,
-                    max_table_size=scale.max_table_size,
-                    beta=scale.beta,
-                    window=window,
-                    seed=seed,
-                )
-                result.add_row(
-                    **{sweep_name: value},
-                    window=window,
-                    algorithm=algorithm,
-                    avg_generation_time_ms=run.avg_generation_time * 1e3,
-                    migration_cost_pct=run.avg_migration_fraction * 100,
-                    avg_table_size=run.avg_table_size,
-                    rebalances=run.rebalances,
-                )
+    """Shared Figs. 8–10 shape: one workload axis crossed with the window axis."""
+
+    def _num_tasks(axis):
+        return num_tasks_of(axis[sweep_name]) if num_tasks_of else scale.num_tasks
+
+    result.rows.extend(
+        planner_sweep(
+            axes={sweep_name: sweep_values, "window": windows},
+            algorithms=strategies,
+            workload=lambda axis: zipf_workload(
+                scale,
+                num_keys=num_keys_of(axis[sweep_name]) if num_keys_of else scale.num_keys,
+                num_tasks=_num_tasks(axis),
+                seed=seed,
+            ),
+            planner_kwargs=lambda axis: dict(
+                num_tasks=_num_tasks(axis),
+                theta_max=theta_of(axis[sweep_name]) if theta_of else scale.theta_max,
+                max_table_size=scale.max_table_size,
+                beta=scale.beta,
+                window=axis["window"],
+            ),
+            row=lambda run, axis: _planner_metric_columns(run),
+            seed=seed,
+        )
+    )
     return result
 
 
-def fig08_vary_task_instances(
-    scale: str | ExperimentScale = "small",
+@register_experiment(
+    "fig08",
+    description="plan-generation time and migration cost vs task instances N_D",
+)
+def _fig08(
+    scale: ExperimentScale,
     *,
     task_counts: Sequence[int] = (5, 10, 20, 30, 40),
     windows: Sequence[int] = (1, 5),
+    strategies: Sequence[str] = ("mixed", "mintable"),
     seed: int = 0,
 ) -> ExperimentResult:
     """Fig. 8(a)/(b): plan-generation time and migration cost vs ``N_D``."""
-    scale = get_scale(scale)
     result = ExperimentResult(
         figure="Fig. 8",
         title="Scheduling efficiency and migration cost with varying number of task instances",
@@ -208,10 +228,10 @@ def fig08_vary_task_instances(
             "MinTable behaviour at large N_D."
         ),
     )
-    return _planner_sweep(
+    return _nd_theta_k_sweep(
         scale,
         result,
-        algorithms=("mixed", "mintable"),
+        strategies=strategies,
         windows=windows,
         sweep_name="num_tasks",
         sweep_values=task_counts,
@@ -220,15 +240,30 @@ def fig08_vary_task_instances(
     )
 
 
-def fig09_vary_theta(
-    scale: str | ExperimentScale = "small",
+def fig08_vary_task_instances(
+    scale="small",
     *,
-    thetas: Sequence[float] = (0.02, 0.05, 0.08, 0.11, 0.14, 0.2, 0.3, 0.5),
+    task_counts: Sequence[int] = (5, 10, 20, 30, 40),
     windows: Sequence[int] = (1, 5),
     seed: int = 0,
 ) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig08`` experiment."""
+    return _legacy("fig08", scale, seed, task_counts=task_counts, windows=windows)
+
+
+@register_experiment(
+    "fig09",
+    description="plan-generation time and migration cost vs theta_max",
+)
+def _fig09(
+    scale: ExperimentScale,
+    *,
+    thetas: Sequence[float] = (0.02, 0.05, 0.08, 0.11, 0.14, 0.2, 0.3, 0.5),
+    windows: Sequence[int] = (1, 5),
+    strategies: Sequence[str] = ("mixed", "mintable"),
+    seed: int = 0,
+) -> ExperimentResult:
     """Fig. 9(a)/(b): plan-generation time and migration cost vs ``θ_max``."""
-    scale = get_scale(scale)
     result = ExperimentResult(
         figure="Fig. 9",
         title="Scheduling efficiency and migration cost with varying theta_max",
@@ -238,10 +273,10 @@ def fig09_vary_theta(
             "pays roughly 3x Mixed's migration cost at tight theta_max."
         ),
     )
-    return _planner_sweep(
+    return _nd_theta_k_sweep(
         scale,
         result,
-        algorithms=("mixed", "mintable"),
+        strategies=strategies,
         windows=windows,
         sweep_name="theta_max",
         sweep_values=thetas,
@@ -250,15 +285,30 @@ def fig09_vary_theta(
     )
 
 
-def fig10_vary_key_domain(
-    scale: str | ExperimentScale = "small",
+def fig09_vary_theta(
+    scale="small",
     *,
-    key_domains: Optional[Sequence[int]] = None,
+    thetas: Sequence[float] = (0.02, 0.05, 0.08, 0.11, 0.14, 0.2, 0.3, 0.5),
     windows: Sequence[int] = (1, 5),
     seed: int = 0,
 ) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig09`` experiment."""
+    return _legacy("fig09", scale, seed, thetas=thetas, windows=windows)
+
+
+@register_experiment(
+    "fig10",
+    description="plan-generation time and migration cost vs key-domain size K",
+)
+def _fig10(
+    scale: ExperimentScale,
+    *,
+    key_domains: Optional[Sequence[int]] = None,
+    windows: Sequence[int] = (1, 5),
+    strategies: Sequence[str] = ("mixed", "mintable"),
+    seed: int = 0,
+) -> ExperimentResult:
     """Fig. 10(a)/(b): plan-generation time and migration cost vs ``K``."""
-    scale = get_scale(scale)
     if key_domains is None:
         key_domains = (
             max(scale.num_keys // 20, 100),
@@ -275,10 +325,10 @@ def fig10_vary_key_domain(
             "stays well below MinTable's across domain sizes."
         ),
     )
-    return _planner_sweep(
+    return _nd_theta_k_sweep(
         scale,
         result,
-        algorithms=("mixed", "mintable"),
+        strategies=strategies,
         windows=windows,
         sweep_name="num_keys",
         sweep_values=key_domains,
@@ -287,13 +337,28 @@ def fig10_vary_key_domain(
     )
 
 
+def fig10_vary_key_domain(
+    scale="small",
+    *,
+    key_domains: Optional[Sequence[int]] = None,
+    windows: Sequence[int] = (1, 5),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig10`` experiment."""
+    return _legacy("fig10", scale, seed, key_domains=key_domains, windows=windows)
+
+
 # ---------------------------------------------------------------------------
 # Fig. 11 — compact representation / discretisation degree R
 # ---------------------------------------------------------------------------
 
 
-def fig11_discretization(
-    scale: str | ExperimentScale = "small",
+@register_experiment(
+    "fig11",
+    description="compact representation: planning time and estimation error vs R",
+)
+def _fig11(
+    scale: ExperimentScale,
     *,
     degrees: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
     thetas: Sequence[float] = (0.0, 0.02, 0.08, 0.15),
@@ -305,7 +370,6 @@ def fig11_discretization(
     contrasts against; panel (b) reports the load-estimation error for several
     ``θ_max`` values.
     """
-    scale = get_scale(scale)
     result = ExperimentResult(
         figure="Fig. 11",
         title="Compact representation: planning efficiency and load-estimation error vs R",
@@ -316,41 +380,28 @@ def fig11_discretization(
             "with R but stays below 1%."
         ),
     )
-    workload = _zipf_workload(scale, seed=seed)
+    workload = zipf_workload(scale, seed=seed)
 
-    # Panel (a): generation time vs R (plus the uncompacted baseline).
-    baseline = run_planner_sequence(
-        "mixed",
-        workload,
-        num_tasks=scale.num_tasks,
-        theta_max=scale.theta_max,
-        max_table_size=scale.max_table_size,
-        window=scale.window,
-        use_compact=True,
-        discretization_degree=None,
-        seed=seed,
-    )
-    result.add_row(
-        panel="a",
-        degree="original-key-space",
-        avg_generation_time_ms=baseline.avg_generation_time * 1e3,
-        load_estimation_error_pct=baseline.avg_load_estimation_error * 100,
-    )
-    for degree in degrees:
-        run = run_planner_sequence(
+    def compact_run(degree: Optional[int], theta: float, force: bool = False):
+        return run_planner_sequence(
             "mixed",
             workload,
             num_tasks=scale.num_tasks,
-            theta_max=scale.theta_max,
+            theta_max=theta,
             max_table_size=scale.max_table_size,
             window=scale.window,
             use_compact=True,
             discretization_degree=degree,
+            force_every_interval=force,
             seed=seed,
         )
+
+    # Panel (a): generation time vs R (plus the uncompacted baseline).
+    for degree in (None, *degrees):
+        run = compact_run(degree, scale.theta_max)
         result.add_row(
             panel="a",
-            degree=degree,
+            degree="original-key-space" if degree is None else degree,
             avg_generation_time_ms=run.avg_generation_time * 1e3,
             load_estimation_error_pct=run.avg_load_estimation_error * 100,
         )
@@ -358,18 +409,7 @@ def fig11_discretization(
     # Panel (b): estimation error vs R for several theta_max values.
     for theta in thetas:
         for degree in degrees:
-            run = run_planner_sequence(
-                "mixed",
-                workload,
-                num_tasks=scale.num_tasks,
-                theta_max=theta,
-                max_table_size=scale.max_table_size,
-                window=scale.window,
-                use_compact=True,
-                discretization_degree=degree,
-                force_every_interval=True,
-                seed=seed,
-            )
+            run = compact_run(degree, theta, force=True)
             result.add_row(
                 panel="b",
                 theta_max=theta,
@@ -379,20 +419,34 @@ def fig11_discretization(
     return result
 
 
+def fig11_discretization(
+    scale="small",
+    *,
+    degrees: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256),
+    thetas: Sequence[float] = (0.0, 0.02, 0.08, 0.15),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig11`` experiment."""
+    return _legacy("fig11", scale, seed, degrees=degrees, thetas=thetas)
+
+
 # ---------------------------------------------------------------------------
 # Fig. 12 — planner comparison under varying fluctuation rate f
 # ---------------------------------------------------------------------------
 
 
-def fig12_vary_fluctuation(
-    scale: str | ExperimentScale = "small",
+@register_experiment(
+    "fig12",
+    description="generation time and migration cost vs distribution fluctuation f",
+)
+def _fig12(
+    scale: ExperimentScale,
     *,
     fluctuations: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
-    algorithms: Sequence[str] = ("mixed", "mintable", "readj", "mixedbf"),
+    strategies: Sequence[str] = ("mixed", "mintable", "readj", "mixedbf"),
     seed: int = 0,
 ) -> ExperimentResult:
     """Fig. 12(a)/(b): generation time and migration cost vs fluctuation ``f``."""
-    scale = get_scale(scale)
     result = ExperimentResult(
         figure="Fig. 12",
         title="Scheduling efficiency and migration cost with varying distribution change frequency",
@@ -403,27 +457,40 @@ def fig12_vary_fluctuation(
             "with f."
         ),
     )
-    for fluctuation in fluctuations:
-        workload = _zipf_workload(scale, fluctuation=fluctuation, seed=seed)
-        for algorithm in algorithms:
-            run = run_planner_sequence(
-                algorithm,
-                workload,
+    result.rows.extend(
+        planner_sweep(
+            axes={"fluctuation": fluctuations},
+            algorithms=strategies,
+            workload=lambda axis: zipf_workload(
+                scale, fluctuation=axis["fluctuation"], seed=seed
+            ),
+            planner_kwargs=lambda axis: dict(
                 num_tasks=scale.num_tasks,
                 theta_max=0.08,
                 max_table_size=scale.max_table_size,
                 beta=scale.beta,
                 window=scale.window,
-                seed=seed,
-            )
-            result.add_row(
-                fluctuation=fluctuation,
-                algorithm=algorithm,
-                avg_generation_time_ms=run.avg_generation_time * 1e3,
-                migration_cost_pct=run.avg_migration_fraction * 100,
-                rebalances=run.rebalances,
-            )
+            ),
+            row=lambda run, axis: {
+                "avg_generation_time_ms": run.avg_generation_time * 1e3,
+                "migration_cost_pct": run.avg_migration_fraction * 100,
+                "rebalances": run.rebalances,
+            },
+            seed=seed,
+        )
+    )
     return result
+
+
+def fig12_vary_fluctuation(
+    scale="small",
+    *,
+    fluctuations: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    algorithms: Sequence[str] = ("mixed", "mintable", "readj", "mixedbf"),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig12`` experiment."""
+    return _legacy("fig12", scale, seed, fluctuations=fluctuations, strategies=algorithms)
 
 
 # ---------------------------------------------------------------------------
@@ -431,15 +498,18 @@ def fig12_vary_fluctuation(
 # ---------------------------------------------------------------------------
 
 
-def fig13_throughput_latency(
-    scale: str | ExperimentScale = "small",
+@register_experiment(
+    "fig13",
+    description="simulated throughput and latency vs distribution fluctuation f",
+)
+def _fig13(
+    scale: ExperimentScale,
     *,
     fluctuations: Sequence[float] = (0.1, 0.5, 0.9, 1.3, 1.7, 2.0),
     strategies: Sequence[str] = ("storm", "readj", "mixed", "ideal"),
     seed: int = 0,
 ) -> ExperimentResult:
     """Fig. 13(a)/(b): simulated throughput and latency vs fluctuation ``f``."""
-    scale = get_scale(scale)
     result = ExperimentResult(
         figure="Fig. 13",
         title="Throughput and latency with varying distribution change frequency",
@@ -450,21 +520,18 @@ def fig13_throughput_latency(
         ),
     )
     for fluctuation in fluctuations:
-        workload = _zipf_workload(
+        workload = zipf_workload(
             scale,
             fluctuation=fluctuation,
             intervals=scale.sim_intervals,
             seed=seed,
         )
         for strategy in strategies:
-            collector = run_simulation(
+            collector = simulate(
+                scale,
                 strategy,
                 workload,
                 WordCountOperator(window=scale.window),
-                num_tasks=scale.num_tasks,
-                theta_max=scale.theta_max,
-                max_table_size=scale.max_table_size,
-                window=scale.window,
                 seed=seed,
             )
             result.add_row(
@@ -477,19 +544,35 @@ def fig13_throughput_latency(
     return result
 
 
+def fig13_throughput_latency(
+    scale="small",
+    *,
+    fluctuations: Sequence[float] = (0.1, 0.5, 0.9, 1.3, 1.7, 2.0),
+    strategies: Sequence[str] = ("storm", "readj", "mixed", "ideal"),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig13`` experiment."""
+    return _legacy("fig13", scale, seed, fluctuations=fluctuations, strategies=strategies)
+
+
 # ---------------------------------------------------------------------------
 # Fig. 14 — throughput on the Social and Stock workloads vs theta_max
 # ---------------------------------------------------------------------------
 
 
-def fig14_real_world_throughput(
-    scale: str | ExperimentScale = "small",
+@register_experiment(
+    "fig14",
+    description="throughput on Social/Stock surrogate workloads vs theta_max",
+)
+def _fig14(
+    scale: ExperimentScale,
     *,
     thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
+    social_strategies: Sequence[str] = ("storm", "readj", "mixed", "pkg", "mintable"),
+    stock_strategies: Sequence[str] = ("storm", "readj", "mixed", "mintable"),
     seed: int = 0,
 ) -> ExperimentResult:
     """Fig. 14(a)/(b): throughput on Social (word count) and Stock (self-join)."""
-    scale = get_scale(scale)
     result = ExperimentResult(
         figure="Fig. 14",
         title="Throughput on real-world surrogate workloads vs theta_max",
@@ -513,18 +596,14 @@ def fig14_real_world_throughput(
         seed=seed,
     ).take(scale.sim_intervals)
 
-    social_strategies = ("storm", "readj", "mixed", "pkg", "mintable")
-    stock_strategies = ("storm", "readj", "mixed", "mintable")
     for theta in thetas:
         for strategy in social_strategies:
-            collector = run_simulation(
+            collector = simulate(
+                scale,
                 strategy,
                 social,
                 WordCountOperator(window=scale.window),
-                num_tasks=scale.num_tasks,
                 theta_max=theta,
-                max_table_size=scale.max_table_size,
-                window=scale.window,
                 seed=seed,
             )
             result.add_row(
@@ -535,13 +614,12 @@ def fig14_real_world_throughput(
                 latency_ms=collector.mean_latency_ms,
             )
         for strategy in stock_strategies:
-            collector = run_simulation(
+            collector = simulate(
+                scale,
                 strategy,
                 stock,
                 WindowedSelfJoin(window=max(scale.window, 2)),
-                num_tasks=scale.num_tasks,
                 theta_max=theta,
-                max_table_size=scale.max_table_size,
                 window=max(scale.window, 2),
                 seed=seed,
             )
@@ -555,20 +633,33 @@ def fig14_real_world_throughput(
     return result
 
 
+def fig14_real_world_throughput(
+    scale="small",
+    *,
+    thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig14`` experiment."""
+    return _legacy("fig14", scale, seed, thetas=thetas)
+
+
 # ---------------------------------------------------------------------------
 # Fig. 15 — throughput over time during scale-out
 # ---------------------------------------------------------------------------
 
 
-def fig15_scale_out(
-    scale: str | ExperimentScale = "small",
+@register_experiment(
+    "fig15",
+    description="throughput dynamics while one task instance is added",
+)
+def _fig15(
+    scale: ExperimentScale,
     *,
     thetas: Sequence[float] = (0.1, 0.2),
     strategies: Sequence[str] = ("mixed", "readj", "pkg", "storm"),
     seed: int = 0,
 ) -> ExperimentResult:
     """Fig. 15(a)/(b): throughput over time when one task instance is added."""
-    scale = get_scale(scale)
     intervals = max(scale.sim_intervals, 12)
     add_at = intervals // 3
     result = ExperimentResult(
@@ -608,15 +699,14 @@ def fig15_scale_out(
     ):
         for theta in thetas:
             for strategy in panel_strategies:
-                if strategy in ("storm", "pkg") and theta != thetas[0]:
+                if not get_strategy(strategy).theta_sensitive and theta != thetas[0]:
                     continue  # theta-insensitive strategies: one curve suffices
-                collector = run_simulation(
+                collector = simulate(
+                    scale,
                     strategy,
                     workload,
                     logic,
-                    num_tasks=scale.num_tasks,
                     theta_max=theta,
-                    max_table_size=scale.max_table_size,
                     window=logic.window,
                     seed=seed,
                     scale_out_at={add_at: scale.num_tasks + 1},
@@ -633,13 +723,28 @@ def fig15_scale_out(
     return result
 
 
+def fig15_scale_out(
+    scale="small",
+    *,
+    thetas: Sequence[float] = (0.1, 0.2),
+    strategies: Sequence[str] = ("mixed", "readj", "pkg", "storm"),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig15`` experiment."""
+    return _legacy("fig15", scale, seed, thetas=thetas, strategies=strategies)
+
+
 # ---------------------------------------------------------------------------
 # Fig. 16 — continuous TPC-H Q5 throughput over time
 # ---------------------------------------------------------------------------
 
 
-def fig16_tpch_q5(
-    scale: str | ExperimentScale = "small",
+@register_experiment(
+    "fig16",
+    description="continuous TPC-H Q5 pipeline throughput over time",
+)
+def _fig16(
+    scale: ExperimentScale,
     *,
     thetas: Sequence[float] = (0.1, 0.2),
     strategies: Sequence[str] = ("mixed", "readj", "storm", "mintable"),
@@ -647,9 +752,7 @@ def fig16_tpch_q5(
 ) -> ExperimentResult:
     """Fig. 16(a)/(b): throughput of the continuous Q5 pipeline over time."""
     from repro.engine import PipelineSimulator, SimulationConfig
-    from repro.experiments.harness import build_partitioner
 
-    scale = get_scale(scale)
     intervals = max(scale.sim_intervals, 12)
     change_every = max(3, intervals // 4)
     dataset = generate_tpch(scale=0.002 if scale.name != "paper" else 0.05, seed=seed)
@@ -679,9 +782,10 @@ def fig16_tpch_q5(
     q5_window = 5
     for theta in thetas:
         for strategy in strategies:
-            def factory(stage_name: str, parallelism: int, _strategy=strategy, _theta=theta):
-                return build_partitioner(
-                    _strategy,
+            spec = get_strategy(strategy)
+
+            def factory(stage_name: str, parallelism: int, _spec=spec, _theta=theta):
+                return _spec.build(
                     parallelism,
                     theta_max=_theta,
                     max_table_size=scale.max_table_size,
@@ -710,20 +814,34 @@ def fig16_tpch_q5(
     return result
 
 
+def fig16_tpch_q5(
+    scale="small",
+    *,
+    thetas: Sequence[float] = (0.1, 0.2),
+    strategies: Sequence[str] = ("mixed", "readj", "storm", "mintable"),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig16`` experiment."""
+    return _legacy("fig16", scale, seed, thetas=thetas, strategies=strategies)
+
+
 # ---------------------------------------------------------------------------
 # Figs. 17-21 — appendix parameter studies
 # ---------------------------------------------------------------------------
 
 
-def fig17_table_cap(
-    scale: str | ExperimentScale = "small",
+@register_experiment(
+    "fig17",
+    description="migration cost of Mixed vs the routing-table cap N_A",
+)
+def _fig17(
+    scale: ExperimentScale,
     *,
     cap_exponents: Sequence[int] = (1, 3, 5, 7, 9, 11, 13),
     thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
     seed: int = 0,
 ) -> ExperimentResult:
     """Fig. 17: Mixed's migration cost vs the routing table cap ``N_A = 2^i``."""
-    scale = get_scale(scale)
     result = ExperimentResult(
         figure="Fig. 17",
         title="Migration cost of Mixed under different routing-table caps",
@@ -734,39 +852,54 @@ def fig17_table_cap(
             "the cost sharply, earlier for looser theta_max."
         ),
     )
-    workload = _zipf_workload(scale, seed=seed)
-    for theta in thetas:
-        for exponent in cap_exponents:
-            cap = 2 ** exponent
-            run = run_planner_sequence(
-                "mixed",
-                workload,
+    workload = zipf_workload(scale, seed=seed)
+    result.rows.extend(
+        planner_sweep(
+            axes={"theta_max": thetas, "cap_exponent": cap_exponents},
+            algorithms=("mixed",),
+            include_algorithm=False,
+            workload=lambda axis: workload,
+            planner_kwargs=lambda axis: dict(
                 num_tasks=scale.num_tasks,
-                theta_max=theta,
-                max_table_size=cap,
+                theta_max=axis["theta_max"],
+                max_table_size=2 ** axis["cap_exponent"],
                 beta=scale.beta,
                 window=scale.window,
-                seed=seed,
-            )
-            result.add_row(
-                theta_max=theta,
-                cap_exponent=exponent,
-                table_cap=cap,
-                migration_cost_pct=run.avg_migration_fraction * 100,
-                avg_table_size=run.avg_table_size,
-            )
+            ),
+            row=lambda run, axis: {
+                "table_cap": 2 ** axis["cap_exponent"],
+                "migration_cost_pct": run.avg_migration_fraction * 100,
+                "avg_table_size": run.avg_table_size,
+            },
+            seed=seed,
+        )
+    )
     return result
 
 
-def fig18_table_growth(
-    scale: str | ExperimentScale = "small",
+def fig17_table_cap(
+    scale="small",
+    *,
+    cap_exponents: Sequence[int] = (1, 3, 5, 7, 9, 11, 13),
+    thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig17`` experiment."""
+    return _legacy("fig17", scale, seed, cap_exponents=cap_exponents, thetas=thetas)
+
+
+@register_experiment(
+    "fig18",
+    description="routing-table growth of MinMig along successive adjustments",
+)
+def _fig18(
+    scale: ExperimentScale,
     *,
     adjustments: Optional[int] = None,
     thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
     seed: int = 0,
 ) -> ExperimentResult:
     """Fig. 18: MinMig's routing-table size as adjustments accumulate."""
-    scale = get_scale(scale)
     adjustments = adjustments if adjustments is not None else max(scale.intervals, 12)
     result = ExperimentResult(
         figure="Fig. 18",
@@ -782,44 +915,53 @@ def fig18_table_growth(
             "converges towards (N_D-1)/N_D * K entries because MinMig never cleans."
         ),
     )
-    for theta in thetas:
-        workload = ZipfWorkload(
-            num_keys=scale.num_keys,
-            skew=scale.skew,
-            tuples_per_interval=scale.tuples_per_interval,
-            fluctuation=scale.fluctuation,
-            num_tasks=scale.num_tasks,
-            intervals=adjustments,
-            seed=seed,
-        ).take(adjustments)
-        run = run_planner_sequence(
-            "minmig",
-            workload,
-            num_tasks=scale.num_tasks,
-            theta_max=theta,
-            max_table_size=None,
-            beta=scale.beta,
-            window=scale.window,
+    result.rows.extend(
+        planner_sweep(
+            axes={"theta_max": thetas},
+            algorithms=("minmig",),
+            include_algorithm=False,
+            workload=lambda axis: zipf_workload(scale, intervals=adjustments, seed=seed),
+            planner_kwargs=lambda axis: dict(
+                num_tasks=scale.num_tasks,
+                theta_max=axis["theta_max"],
+                max_table_size=None,
+                beta=scale.beta,
+                window=scale.window,
+            ),
+            row=lambda run, axis: [
+                {"adjustment": adjustment, "routing_table_size": size}
+                for adjustment, size in enumerate(run.table_sizes, start=1)
+            ],
             force_every_interval=True,
             seed=seed,
         )
-        for adjustment, table_size in enumerate(run.table_sizes, start=1):
-            result.add_row(
-                theta_max=theta,
-                adjustment=adjustment,
-                routing_table_size=table_size,
-            )
+    )
     return result
 
 
-def fig19_window_size(
-    scale: str | ExperimentScale = "small",
+def fig18_table_growth(
+    scale="small",
+    *,
+    adjustments: Optional[int] = None,
+    thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig18`` experiment."""
+    return _legacy("fig18", scale, seed, adjustments=adjustments, thetas=thetas)
+
+
+@register_experiment(
+    "fig19",
+    description="migration cost vs state window size w",
+)
+def _fig19(
+    scale: ExperimentScale,
     *,
     windows: Sequence[int] = (1, 3, 5, 7, 9, 11, 13, 15),
+    strategies: Sequence[str] = ("mixed", "mintable"),
     seed: int = 0,
 ) -> ExperimentResult:
     """Fig. 19: migration cost vs state window size ``w`` (Mixed vs MinTable)."""
-    scale = get_scale(scale)
     result = ExperimentResult(
         figure="Fig. 19",
         title="Migration cost with varying window size",
@@ -829,25 +971,37 @@ def fig19_window_size(
             "candidates, so its cost stays below MinTable's at every w."
         ),
     )
-    for window in windows:
-        workload = _zipf_workload(scale, intervals=max(scale.intervals, window + 3), seed=seed)
-        for algorithm in ("mixed", "mintable"):
-            run = run_planner_sequence(
-                algorithm,
-                workload,
+    result.rows.extend(
+        planner_sweep(
+            axes={"window": windows},
+            algorithms=strategies,
+            workload=lambda axis: zipf_workload(
+                scale, intervals=max(scale.intervals, axis["window"] + 3), seed=seed
+            ),
+            planner_kwargs=lambda axis: dict(
                 num_tasks=scale.num_tasks,
                 theta_max=scale.theta_max,
                 max_table_size=scale.max_table_size,
                 beta=scale.beta,
-                window=window,
-                seed=seed,
-            )
-            result.add_row(
-                window=window,
-                algorithm=algorithm,
-                migration_cost_pct=run.avg_migration_fraction * 100,
-            )
+                window=axis["window"],
+            ),
+            row=lambda run, axis: {
+                "migration_cost_pct": run.avg_migration_fraction * 100
+            },
+            seed=seed,
+        )
+    )
     return result
+
+
+def fig19_window_size(
+    scale="small",
+    *,
+    windows: Sequence[int] = (1, 3, 5, 7, 9, 11, 13, 15),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig19`` experiment."""
+    return _legacy("fig19", scale, seed, windows=windows)
 
 
 def _beta_sweep(
@@ -856,41 +1010,41 @@ def _beta_sweep(
     thetas: Sequence[float],
     seed: int,
 ) -> List[Dict[str, float]]:
-    rows: List[Dict[str, float]] = []
-    workload = _zipf_workload(scale, seed=seed)
-    for theta in thetas:
-        for beta in betas:
-            run = run_planner_sequence(
-                "minmig",
-                workload,
-                num_tasks=scale.num_tasks,
-                theta_max=theta,
-                max_table_size=None,
-                beta=beta,
-                window=scale.window,
-                force_every_interval=True,
-                seed=seed,
-            )
-            rows.append(
-                {
-                    "theta_max": theta,
-                    "beta": beta,
-                    "routing_table_size": run.avg_table_size,
-                    "migration_cost_pct": run.avg_migration_fraction * 100,
-                }
-            )
-    return rows
+    """Shared Figs. 20/21 sweep: MinMig over β × θ_max, forced every interval."""
+    workload = zipf_workload(scale, seed=seed)
+    return planner_sweep(
+        axes={"theta_max": thetas, "beta": betas},
+        algorithms=("minmig",),
+        include_algorithm=False,
+        workload=lambda axis: workload,
+        planner_kwargs=lambda axis: dict(
+            num_tasks=scale.num_tasks,
+            theta_max=axis["theta_max"],
+            max_table_size=None,
+            beta=axis["beta"],
+            window=scale.window,
+        ),
+        row=lambda run, axis: {
+            "routing_table_size": run.avg_table_size,
+            "migration_cost_pct": run.avg_migration_fraction * 100,
+        },
+        force_every_interval=True,
+        seed=seed,
+    )
 
 
-def fig20_beta_table_size(
-    scale: str | ExperimentScale = "small",
+@register_experiment(
+    "fig20",
+    description="MinMig routing-table size vs the gamma weight beta",
+)
+def _fig20(
+    scale: ExperimentScale,
     *,
     betas: Sequence[float] = (1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0),
     thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
     seed: int = 0,
 ) -> ExperimentResult:
     """Fig. 20: routing-table size vs the γ weight β (MinMig)."""
-    scale = get_scale(scale)
     result = ExperimentResult(
         figure="Fig. 20",
         title="Routing table size for different beta",
@@ -909,15 +1063,29 @@ def fig20_beta_table_size(
     return result
 
 
-def fig21_beta_migration(
-    scale: str | ExperimentScale = "small",
+def fig20_beta_table_size(
+    scale="small",
+    *,
+    betas: Sequence[float] = (1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0),
+    thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig20`` experiment."""
+    return _legacy("fig20", scale, seed, betas=betas, thetas=thetas)
+
+
+@register_experiment(
+    "fig21",
+    description="MinMig migration cost vs the gamma weight beta",
+)
+def _fig21(
+    scale: ExperimentScale,
     *,
     betas: Sequence[float] = (1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0),
     thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
     seed: int = 0,
 ) -> ExperimentResult:
     """Fig. 21: migration cost vs the γ weight β (MinMig)."""
-    scale = get_scale(scale)
     result = ExperimentResult(
         figure="Fig. 21",
         title="Migration cost for different beta",
@@ -936,8 +1104,20 @@ def fig21_beta_migration(
     return result
 
 
-#: Registry used by the benchmark harness and the `examples/reproduce_all.py`
-#: script: figure id -> driver.
+def fig21_beta_migration(
+    scale="small",
+    *,
+    betas: Sequence[float] = (1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0),
+    thetas: Sequence[float] = (0.02, 0.08, 0.15, 0.3),
+    seed: int = 0,
+) -> ExperimentResult:
+    """Legacy-signature wrapper for the ``fig21`` experiment."""
+    return _legacy("fig21", scale, seed, betas=betas, thetas=thetas)
+
+
+#: Legacy registry kept for the benchmark harness and old scripts: figure id ->
+#: legacy-signature driver.  New code should use the experiment registry
+#: (`repro.experiments.specs.experiment_names`) instead.
 ALL_FIGURES = {
     "fig07": fig07_hash_skewness,
     "fig08": fig08_vary_task_instances,

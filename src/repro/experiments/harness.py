@@ -10,35 +10,30 @@ Two kinds of runs are needed:
 * *System simulations* (Figs. 13–16): a topology is run through the fluid
   engine simulator and throughput/latency are measured.
 
-:func:`build_partitioner` maps the strategy names used throughout the
-evaluation ("storm", "readj", "mixed", "mintable", "pkg", "ideal") onto
-configured partitioner instances.
+Strategy names are resolved through the registry in
+:mod:`repro.core.strategy`; :func:`build_partitioner` survives as a thin
+deprecation shim over ``get_strategy(name).build(...)``.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional
 
-from repro.baselines import (
-    DKGPartitioner,
-    HashPartitioner,
-    PartialKeyGrouping,
-    Partitioner,
-    ReadjPartitioner,
-    ShufflePartitioner,
-)
+from repro.baselines import Partitioner
 from repro.core.assignment import AssignmentFunction
 from repro.core.compact import CompactMixedPlanner
-from repro.core.controller import ControllerConfig
 from repro.core.discretization import HLHEDiscretizer
 from repro.core.load import load_from_costs, max_balance_indicator
 from repro.core.planner import PlannerConfig, RebalanceResult, get_algorithm
 from repro.core.statistics import IntervalStats, StatisticsStore
+from repro.core.strategy import get_strategy, has_strategy
 from repro.engine.metrics import MetricsCollector
 from repro.engine.operator import OperatorLogic
-from repro.engine.routing import MixedRoutingPartitioner
 from repro.engine.simulator import OperatorSimulator, SimulationConfig
+from repro.experiments.reporting import mean
 
 __all__ = [
     "PlannerRun",
@@ -68,23 +63,24 @@ class PlannerRun:
     load_estimation_errors: List[float] = field(default_factory=list)
     skewness_before: List[float] = field(default_factory=list)
 
-    @staticmethod
-    def _mean(values: List[float]) -> float:
-        return sum(values) / len(values) if values else 0.0
-
     @property
     def avg_generation_time(self) -> float:
-        """Average plan generation wall time in seconds."""
-        return self._mean(self.generation_times)
+        """Average plan generation wall time in seconds (NaN when no rebalance ran)."""
+        return mean(self.generation_times)
 
     @property
     def avg_migration_fraction(self) -> float:
-        """Average fraction of operator state migrated per adjustment."""
-        return self._mean(self.migration_fractions)
+        """Average fraction of operator state migrated per adjustment.
+
+        NaN (rendered as ``—`` in reports) when the run never rebalanced, so
+        "nothing migrated because nothing happened" is distinguishable from a
+        true 0.0 average.
+        """
+        return mean(self.migration_fractions)
 
     @property
     def avg_table_size(self) -> float:
-        return self._mean([float(size) for size in self.table_sizes])
+        return mean([float(size) for size in self.table_sizes])
 
     @property
     def final_table_size(self) -> int:
@@ -92,11 +88,23 @@ class PlannerRun:
 
     @property
     def avg_max_theta(self) -> float:
-        return self._mean(self.max_thetas)
+        return mean(self.max_thetas)
 
     @property
     def avg_load_estimation_error(self) -> float:
-        return self._mean(self.load_estimation_errors)
+        return mean(self.load_estimation_errors)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (used by the ResultsStore)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "PlannerRun":
+        """Inverse of :meth:`to_dict`."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in known})
 
 
 def run_planner_sequence(
@@ -116,25 +124,39 @@ def run_planner_sequence(
 ) -> PlannerRun:
     """Stream interval snapshots through a rebalancer and collect planner metrics.
 
-    ``algorithm`` is one of the registered core algorithms (``"mixed"``,
-    ``"mintable"``, ``"minmig"``, ``"mixedbf"``, ``"simple"``), ``"readj"`` or
-    ``"dkg"``.  With ``use_compact`` the compact-representation Mixed planner
-    is used instead (``discretization_degree=None`` keeps the original key
-    space).  ``force_every_interval`` triggers a planning round even when the
-    operator is already balanced (used by the routing-table-growth experiment).
+    ``algorithm`` is any rebalancing strategy in the
+    :mod:`repro.core.strategy` registry: a core controller variant
+    (``"mixed"``, ``"mintable"``, ``"minmig"``, ``"mixedbf"``, ``"simple"`` —
+    run as the bare planning algorithm over a shared statistics store) or a
+    self-contained rebalancing baseline (``"readj"``, ``"dkg"`` — streamed
+    through its own ``on_interval_end``).  With ``use_compact`` the
+    compact-representation Mixed planner is used instead
+    (``discretization_degree=None`` keeps the original key space).
+    ``force_every_interval`` triggers a planning round even when the operator
+    is already balanced (used by the routing-table-growth experiment).
     """
     run = PlannerRun(algorithm=algorithm if not use_compact else "compact-mixed")
 
-    if algorithm in ("readj", "dkg"):
-        partitioner: Partitioner
-        if algorithm == "readj":
-            partitioner = ReadjPartitioner(
-                num_tasks, theta_max=theta_max, sigma=readj_sigma, window=window, seed=seed
+    spec = (
+        get_strategy(algorithm)
+        if not use_compact and has_strategy(algorithm)
+        else None
+    )
+    if spec is not None and spec.core_algorithm is None:
+        if not spec.rebalancing:
+            raise KeyError(
+                f"strategy {algorithm!r} never rebalances; a planner sweep "
+                "needs a rebalancing strategy"
             )
-        else:
-            partitioner = DKGPartitioner(
-                num_tasks, theta_max=theta_max, window=window, seed=seed
-            )
+        partitioner: Partitioner = spec.build(
+            num_tasks,
+            theta_max=theta_max,
+            max_table_size=max_table_size,
+            beta=beta,
+            window=window,
+            seed=seed,
+            readj_sigma=readj_sigma,
+        )
         for index, snapshot in enumerate(workload):
             stats = IntervalStats.from_frequencies(index, dict(snapshot))
             loads = load_from_costs(
@@ -164,7 +186,9 @@ def run_planner_sequence(
         )
         compact_planner = CompactMixedPlanner(discretizer)
     else:
-        core_algorithm = get_algorithm(algorithm)
+        core_algorithm = get_algorithm(
+            spec.core_algorithm if spec is not None else algorithm
+        )
 
     for index, snapshot in enumerate(workload):
         stats = IntervalStats.from_frequencies(index, dict(snapshot))
@@ -205,35 +229,27 @@ def build_partitioner(
     seed: int = 0,
     readj_sigma: float = 2.0,
 ) -> Partitioner:
-    """Instantiate a strategy by its evaluation label.
+    """Deprecated: instantiate a strategy by its evaluation label.
 
-    Labels: ``storm`` (static hashing), ``ideal`` (shuffle), ``pkg``, ``readj``,
-    ``dkg`` and the mixed-routing controller variants ``mixed``, ``mintable``,
-    ``minmig``, ``mixedbf``.
+    Thin shim over the strategy registry, kept for one release so existing
+    call sites keep working; use
+    ``repro.core.strategy.get_strategy(name).build(num_tasks, ...)`` instead.
     """
-    name = name.lower()
-    if name == "storm":
-        return HashPartitioner(num_tasks, seed=seed)
-    if name == "ideal":
-        return ShufflePartitioner(num_tasks)
-    if name == "pkg":
-        return PartialKeyGrouping(num_tasks, seed=seed)
-    if name == "readj":
-        return ReadjPartitioner(
-            num_tasks, theta_max=theta_max, sigma=readj_sigma, window=window, seed=seed
-        )
-    if name == "dkg":
-        return DKGPartitioner(num_tasks, theta_max=theta_max, window=window, seed=seed)
-    if name in ("mixed", "mintable", "minmig", "mixedbf"):
-        config = ControllerConfig(
-            theta_max=theta_max,
-            max_table_size=max_table_size,
-            beta=beta,
-            window=window,
-            algorithm=name,
-        )
-        return MixedRoutingPartitioner(num_tasks, config, seed=seed)
-    raise KeyError(f"unknown strategy {name!r}; known: {STRATEGY_NAMES}")
+    warnings.warn(
+        "build_partitioner is deprecated; use "
+        "repro.core.strategy.get_strategy(name).build(num_tasks, ...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return get_strategy(name).build(
+        num_tasks,
+        theta_max=theta_max,
+        max_table_size=max_table_size,
+        beta=beta,
+        window=window,
+        seed=seed,
+        readj_sigma=readj_sigma,
+    )
 
 
 def run_simulation(
@@ -244,20 +260,27 @@ def run_simulation(
     num_tasks: int,
     theta_max: float = 0.08,
     max_table_size: Optional[int] = None,
+    beta: float = 1.5,
     window: int = 1,
+    readj_sigma: float = 2.0,
     capacity_factor: float = 1.15,
     interval_seconds: float = 10.0,
     seed: int = 0,
     scale_out_at: Optional[Mapping[int, int]] = None,
 ) -> MetricsCollector:
-    """Run one strategy on one operator over the given workload."""
-    partitioner = build_partitioner(
-        strategy,
+    """Run one strategy on one operator over the given workload.
+
+    ``beta`` and ``readj_sigma`` reach the underlying partitioner, so a
+    simulated readj/mixed run can match a planner-sweep configuration exactly.
+    """
+    partitioner = get_strategy(strategy).build(
         num_tasks,
         theta_max=theta_max,
         max_table_size=max_table_size,
+        beta=beta,
         window=window,
         seed=seed,
+        readj_sigma=readj_sigma,
     )
     simulator = OperatorSimulator(
         partitioner,

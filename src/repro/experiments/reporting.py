@@ -8,16 +8,34 @@ be rendered as an aligned text table (the "rows/series the paper reports").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
-__all__ = ["ExperimentResult", "format_table"]
+__all__ = ["ExperimentResult", "format_table", "mean"]
+
+#: Rendering of "not a number" aggregates (e.g. an average over zero
+#: rebalances) in text reports.
+NAN_GLYPH = "—"
+
+
+def mean(values: Iterable[float], *, empty: float = math.nan) -> float:
+    """Arithmetic mean of ``values``; ``empty`` (NaN by default) when empty.
+
+    The NaN default deliberately distinguishes "nothing was measured" (e.g. a
+    run that never rebalanced) from a true 0.0 average; :func:`format_table`
+    renders it as ``—``.
+    """
+    values = list(values)
+    return sum(values) / len(values) if values else empty
 
 
 def _format_value(value: Any) -> str:
     if isinstance(value, bool):
         return str(value)
     if isinstance(value, float):
+        if math.isnan(value):
+            return NAN_GLYPH
         if value == 0:
             return "0"
         if abs(value) >= 1000:
@@ -97,6 +115,27 @@ class ExperimentResult:
         if self.notes:
             lines.append(f"notes: {self.notes}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by the ResultsStore)."""
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "parameters": dict(self.parameters),
+            "notes": self.notes,
+            "rows": [dict(row) for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            figure=payload["figure"],
+            title=payload["title"],
+            rows=[dict(row) for row in payload.get("rows", [])],
+            notes=payload.get("notes", ""),
+            parameters=dict(payload.get("parameters", {})),
+        )
 
     def __len__(self) -> int:
         return len(self.rows)

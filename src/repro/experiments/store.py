@@ -1,0 +1,173 @@
+"""JSON-per-run persistence of experiment results.
+
+A :class:`ResultsStore` is a directory of runs::
+
+    results/
+      fig07-20260727-101502-123456-s0/
+        run.json        # RunMetadata + ExperimentSpec + ExperimentResult
+        report.txt      # the rendered text table (what `repro report` prints)
+        artifacts/      # optional extra payloads (PlannerRun, MetricsCollector)
+          mixed.planner_run.json
+
+``run.json`` is self-contained: the stored :class:`ExperimentSpec` can be
+re-executed (``python -m repro run <run-dir>/run.json``) and the stored
+result compared across runs with :meth:`ResultsStore.load`.  Artifacts carry
+the richer per-interval objects — :class:`~repro.experiments.harness.PlannerRun`
+and :class:`~repro.engine.metrics.MetricsCollector` — tagged with their kind
+so :meth:`load_artifact` reconstructs the typed object.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.engine.metrics import MetricsCollector
+from repro.experiments.harness import PlannerRun
+from repro.experiments.specs import ExperimentRun, RunMetadata
+
+__all__ = ["ResultsStore", "DEFAULT_RESULTS_DIR"]
+
+#: Default root directory (relative to the working directory) for run output.
+DEFAULT_RESULTS_DIR = "results"
+
+_RUN_FILE = "run.json"
+_REPORT_FILE = "report.txt"
+_ARTIFACT_DIR = "artifacts"
+
+_ARTIFACT_KINDS = {
+    "planner_run": PlannerRun,
+    "metrics_collector": MetricsCollector,
+}
+
+
+def _artifact_kind(payload: Any) -> Optional[str]:
+    for kind, cls in _ARTIFACT_KINDS.items():
+        if isinstance(payload, cls):
+            return kind
+    return None
+
+
+class ResultsStore:
+    """Saves, lists and reloads experiment runs under one root directory."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_RESULTS_DIR) -> None:
+        self.root = Path(root)
+
+    # -- writing ---------------------------------------------------------------------
+
+    def save(
+        self,
+        run: ExperimentRun,
+        artifacts: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Persist one run; returns its directory.
+
+        The run id from the metadata names the directory; on a collision a
+        ``-N`` suffix is appended and written back into the run's metadata.
+        ``artifacts`` maps names to :class:`PlannerRun` /
+        :class:`MetricsCollector` instances (or plain JSON-ready dicts).
+        """
+        run_id = self._unique_run_id(run.metadata.run_id)
+        if run_id != run.metadata.run_id:
+            run.metadata = replace(run.metadata, run_id=run_id)
+        run_dir = self.root / run_id
+        run_dir.mkdir(parents=True)
+        (run_dir / _RUN_FILE).write_text(json.dumps(run.to_dict(), indent=1))
+        (run_dir / _REPORT_FILE).write_text(run.result.to_text() + "\n")
+        for name, payload in (artifacts or {}).items():
+            self.save_artifact(run_id, name, payload)
+        return run_dir
+
+    def save_artifact(self, run_id: str, name: str, payload: Any) -> Path:
+        """Attach one named payload to an existing run."""
+        if not re.fullmatch(r"[\w.\-]+", name):
+            raise ValueError(f"artifact name {name!r} must be a plain file stem")
+        kind = _artifact_kind(payload)
+        body = {
+            "kind": kind or "json",
+            "data": payload.to_dict() if kind else payload,
+        }
+        directory = self.run_dir(run_id) / _ARTIFACT_DIR
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{name}.json"
+        path.write_text(json.dumps(body, indent=1))
+        return path
+
+    def _unique_run_id(self, run_id: str) -> str:
+        if not (self.root / run_id).exists():
+            return run_id
+        counter = 2
+        while (self.root / f"{run_id}-{counter}").exists():
+            counter += 1
+        return f"{run_id}-{counter}"
+
+    # -- reading ---------------------------------------------------------------------
+
+    def run_dir(self, run_id: str) -> Path:
+        """Directory of one stored run (must exist)."""
+        run_dir = self.root / run_id
+        if not (run_dir / _RUN_FILE).is_file():
+            raise KeyError(
+                f"no run {run_id!r} under {self.root}; known: {self.run_ids()}"
+            )
+        return run_dir
+
+    def run_ids(self) -> List[str]:
+        """Ids of every stored run, sorted lexically (experiment, then time)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if (entry / _RUN_FILE).is_file()
+        )
+
+    def latest_run_id(self) -> Optional[str]:
+        """The most recently created run id, or ``None`` for an empty store."""
+        metadata = self.list_runs()
+        return metadata[-1].run_id if metadata else None
+
+    def load(self, run_id: str) -> ExperimentRun:
+        """Reload one run (spec, result rows and metadata)."""
+        payload = json.loads((self.run_dir(run_id) / _RUN_FILE).read_text())
+        return ExperimentRun.from_dict(payload)
+
+    def list_runs(self) -> List[RunMetadata]:
+        """Metadata of every stored run, sorted by creation time."""
+        entries = [
+            RunMetadata.from_dict(
+                json.loads((self.root / run_id / _RUN_FILE).read_text())["metadata"]
+            )
+            for run_id in self.run_ids()
+        ]
+        return sorted(entries, key=lambda meta: (meta.created_at, meta.run_id))
+
+    def artifact_names(self, run_id: str) -> List[str]:
+        """Names of the artifacts attached to one run."""
+        directory = self.run_dir(run_id) / _ARTIFACT_DIR
+        if not directory.is_dir():
+            return []
+        return sorted(path.stem for path in directory.glob("*.json"))
+
+    def load_artifact(self, run_id: str, name: str) -> Any:
+        """Reload one artifact, reconstructing its typed object when tagged."""
+        path = self.run_dir(run_id) / _ARTIFACT_DIR / f"{name}.json"
+        if not path.is_file():
+            raise KeyError(
+                f"run {run_id!r} has no artifact {name!r}; "
+                f"known: {self.artifact_names(run_id)}"
+            )
+        body = json.loads(path.read_text())
+        cls = _ARTIFACT_KINDS.get(body.get("kind", "json"))
+        data = body.get("data")
+        return cls.from_dict(data) if cls is not None else data
+
+    def __len__(self) -> int:
+        return len(self.run_ids())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultsStore(root={str(self.root)!r}, runs={len(self)})"

@@ -1,0 +1,150 @@
+"""End-to-end tests for the ``python -m repro`` command line."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ResultsStore
+
+
+def _run(args):
+    return main(args)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    return str(tmp_path / "results")
+
+
+#: Small enough for the fast test subset: a 3-interval planner figure.
+RUN_ARGS = [
+    "run",
+    "fig18",
+    "--scale",
+    "tiny",
+    "--set",
+    "num_keys=400",
+    "--set",
+    "tuples_per_interval=5000",
+    "--set",
+    "num_tasks=4",
+    "--param",
+    "adjustments=3",
+    "--param",
+    "thetas=[0.08]",
+]
+
+
+class TestRunCommand:
+    def test_run_writes_loadable_run_dir(self, results_dir, capsys):
+        assert _run(RUN_ARGS + ["--results-dir", results_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 18" in out
+        store = ResultsStore(results_dir)
+        run_ids = store.run_ids()
+        assert len(run_ids) == 1
+        loaded = store.load(run_ids[0])
+        assert loaded.metadata.scale == "tiny"
+        assert len(loaded.result.rows) == 3
+        assert loaded.spec.params["adjustments"] == 3
+
+    def test_run_no_save(self, results_dir, capsys):
+        assert _run(RUN_ARGS + ["--results-dir", results_dir, "--no-save"]) == 0
+        assert "Fig. 18" in capsys.readouterr().out
+        assert ResultsStore(results_dir).run_ids() == []
+
+    def test_run_spec_file(self, tmp_path, results_dir, capsys):
+        spec_path = tmp_path / "myspec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "experiment": "fig18",
+                    "scale": "tiny",
+                    "overrides": {
+                        "num_keys": 400,
+                        "tuples_per_interval": 5000,
+                        "num_tasks": 4,
+                    },
+                    "params": {"adjustments": 3, "thetas": [0.08]},
+                    "seed": 4,
+                }
+            )
+        )
+        assert _run(["run", str(spec_path), "--results-dir", results_dir]) == 0
+        store = ResultsStore(results_dir)
+        loaded = store.load(store.run_ids()[0])
+        assert loaded.metadata.seed == 4
+        # CLI flags override the file.
+        assert (
+            _run(
+                ["run", str(spec_path), "--seed", "9", "--results-dir", results_dir]
+            )
+            == 0
+        )
+        seeds = {meta.seed for meta in store.list_runs()}
+        assert seeds == {4, 9}
+
+    def test_rerun_stored_run_json(self, results_dir):
+        """The advertised `repro run <run-dir>/run.json` re-run workflow."""
+        _run(RUN_ARGS + ["--results-dir", results_dir, "--quiet"])
+        store = ResultsStore(results_dir)
+        first_id = store.run_ids()[0]
+        run_json = str(store.run_dir(first_id) / "run.json")
+        assert _run(["run", run_json, "--results-dir", results_dir, "--quiet"]) == 0
+        runs = store.run_ids()
+        assert len(runs) == 2
+        rerun_id = next(run_id for run_id in runs if run_id != first_id)
+        assert store.load(rerun_id).result.rows == store.load(first_id).result.rows
+
+    def test_run_unknown_experiment(self, results_dir):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            _run(["run", "fig99", "--results-dir", results_dir])
+
+    def test_run_bad_assignment(self, results_dir):
+        with pytest.raises(SystemExit, match="KEY=VALUE"):
+            _run(["run", "fig18", "--param", "broken", "--results-dir", results_dir])
+
+
+class TestReportCommand:
+    def test_report_latest_renders_stored_run(self, results_dir, capsys):
+        _run(RUN_ARGS + ["--results-dir", results_dir, "--quiet"])
+        capsys.readouterr()
+        assert _run(["report", "--results-dir", results_dir]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 18" in out
+        assert "routing_table_size" in out
+        assert "scale=tiny" in out
+
+    def test_report_by_id(self, results_dir, capsys):
+        _run(RUN_ARGS + ["--results-dir", results_dir, "--quiet"])
+        run_id = ResultsStore(results_dir).latest_run_id()
+        capsys.readouterr()
+        assert _run(["report", run_id, "--results-dir", results_dir]) == 0
+        assert run_id in capsys.readouterr().out
+
+    def test_report_empty_store(self, results_dir):
+        with pytest.raises(SystemExit, match="no stored runs"):
+            _run(["report", "--results-dir", results_dir])
+
+    def test_report_unknown_id(self, results_dir):
+        _run(RUN_ARGS + ["--results-dir", results_dir, "--quiet"])
+        with pytest.raises(SystemExit, match="no run"):
+            _run(["report", "nope", "--results-dir", results_dir])
+
+
+class TestListCommand:
+    def test_list_shows_experiments_and_strategies(self, results_dir, capsys):
+        assert _run(["list", "--results-dir", results_dir]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "fig21" in out
+        assert "mixed" in out and "storm" in out
+        assert "no stored runs" in out
+
+    def test_list_runs(self, results_dir, capsys):
+        _run(RUN_ARGS + ["--results-dir", results_dir, "--quiet"])
+        capsys.readouterr()
+        assert _run(["list", "--runs", "--results-dir", results_dir]) == 0
+        out = capsys.readouterr().out
+        assert "fig18-" in out
+        assert "experiments:" not in out

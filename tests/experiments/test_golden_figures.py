@@ -1,0 +1,81 @@
+"""Golden comparison: the spec-based figure drivers reproduce the pre-refactor
+output row for row.
+
+The JSON files under ``golden/`` were captured from the hand-written drivers
+(as of the PR that introduced the ExperimentSpec runner) at the ``tiny``
+scale.  Every figure must produce the same rows, in the same order, with the
+same values — except wall-clock timing columns, which are inherently
+non-deterministic and are excluded from the comparison.  Golden files store
+columns alphabetically (``sort_keys``), so column *sets* are compared rather
+than column order.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import figures
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Wall-clock measurements: real on every run, but never reproducible.
+TIMING_COLUMNS = {"avg_generation_time_ms"}
+
+#: Figures cheap enough to golden-check in the fast CI subset; the rest of
+#: the suite (simulations, brute-force planners) runs with the slow marker.
+FAST_FIGURES = {"fig07", "fig08", "fig10", "fig17", "fig18", "fig19", "fig20", "fig21"}
+
+ALL_PARAMS = [
+    pytest.param(fig_id, marks=() if fig_id in FAST_FIGURES else pytest.mark.slow)
+    for fig_id in sorted(figures.ALL_FIGURES)
+]
+
+
+def _strip_timing(rows):
+    return [
+        {key: value for key, value in row.items() if key not in TIMING_COLUMNS}
+        for row in rows
+    ]
+
+
+def _values_match(expected, actual) -> bool:
+    if isinstance(expected, float) or isinstance(actual, float):
+        expected_f, actual_f = float(expected), float(actual)
+        if math.isnan(expected_f) or math.isnan(actual_f):
+            return math.isnan(expected_f) and math.isnan(actual_f)
+        return math.isclose(expected_f, actual_f, rel_tol=1e-9, abs_tol=1e-12)
+    return expected == actual
+
+
+@pytest.mark.parametrize("fig_id", ALL_PARAMS)
+def test_figure_matches_golden(fig_id):
+    golden = json.loads((GOLDEN_DIR / f"{fig_id}.json").read_text())
+    result = figures.ALL_FIGURES[fig_id]("tiny")
+
+    assert result.figure == golden["figure"]
+    assert result.title == golden["title"]
+    assert result.parameters == golden["parameters"]
+
+    expected_rows = _strip_timing(golden["rows"])
+    actual_rows = _strip_timing(result.rows)
+    assert len(actual_rows) == len(expected_rows), (
+        f"{fig_id}: {len(actual_rows)} rows, golden has {len(expected_rows)}"
+    )
+    for index, (expected, actual) in enumerate(zip(expected_rows, actual_rows)):
+        assert set(actual) == set(expected), f"{fig_id} row {index}: column mismatch"
+        for column in expected:
+            assert _values_match(expected[column], actual[column]), (
+                f"{fig_id} row {index} column {column!r}: "
+                f"golden {expected[column]!r} != actual {actual[column]!r}"
+            )
+
+
+def test_every_figure_has_a_golden():
+    missing = [
+        fig_id
+        for fig_id in figures.ALL_FIGURES
+        if not (GOLDEN_DIR / f"{fig_id}.json").is_file()
+    ]
+    assert not missing, f"golden files missing for: {missing}"

@@ -1,0 +1,256 @@
+"""Tests for the ExperimentSpec runner and the ResultsStore."""
+
+import json
+import math
+
+import pytest
+
+from repro.engine.metrics import IntervalMetrics, MetricsCollector
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentSpec,
+    PlannerRun,
+    ResultsStore,
+    run,
+    run_batch,
+)
+from repro.experiments.config import get_scale
+from repro.experiments.reporting import format_table, mean
+from repro.experiments.specs import (
+    ExperimentRun,
+    RunMetadata,
+    experiment_names,
+    get_experiment,
+)
+
+TINY_OVERRIDES = {
+    "num_keys": 400,
+    "tuples_per_interval": 5_000,
+    "intervals": 3,
+    "num_tasks": 4,
+}
+
+
+def _quick_spec(**kwargs) -> ExperimentSpec:
+    return ExperimentSpec(
+        "fig18",
+        scale="tiny",
+        overrides=TINY_OVERRIDES,
+        params={"adjustments": 3, "thetas": (0.08,)},
+        **kwargs,
+    )
+
+
+class TestSpecRunner:
+    def test_all_figures_registered(self):
+        assert experiment_names() == [f"fig{index:02d}" for index in range(7, 22)]
+        assert get_experiment("fig07").description
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run(ExperimentSpec("fig99"))
+
+    def test_run_produces_result_and_metadata(self):
+        outcome = _quick_spec(seed=5).run()
+        assert isinstance(outcome, ExperimentRun)
+        assert outcome.result.figure == "Fig. 18"
+        assert len(outcome.result.rows) == 3
+        meta = outcome.metadata
+        assert meta.experiment == "fig18"
+        assert meta.scale == "tiny"
+        assert meta.seed == 5
+        assert meta.run_id.startswith("fig18-")
+        assert meta.wall_time_seconds > 0
+        assert meta.created_at
+
+    def test_overrides_reach_the_driver(self):
+        spec = _quick_spec()
+        assert spec.resolve_scale().num_keys == 400
+        outcome = spec.run()
+        assert outcome.result.parameters["K"] == 400
+
+    def test_strategies_field_merges_into_params(self):
+        spec = ExperimentSpec(
+            "fig19",
+            scale="tiny",
+            overrides=TINY_OVERRIDES,
+            strategies=["mixed"],
+            sweep={"windows": [1, 2]},
+        )
+        result = spec.run().result
+        assert {row["algorithm"] for row in result.rows} == {"mixed"}
+        assert {row["window"] for row in result.rows} == {1, 2}
+
+    def test_run_accepts_bare_name(self):
+        outcome = run(
+            ExperimentSpec(
+                "fig20",
+                scale="tiny",
+                overrides=TINY_OVERRIDES,
+                params={"betas": (1.5,), "thetas": (0.08,)},
+            )
+        )
+        assert len(outcome.result.rows) == 1
+
+    def test_run_batch_preserves_order(self):
+        seen = []
+        outcomes = run_batch(
+            [_quick_spec(seed=0), _quick_spec(seed=1)],
+            on_result=lambda outcome: seen.append(outcome.metadata.seed),
+        )
+        assert seen == [0, 1]
+        assert [o.metadata.seed for o in outcomes] == [0, 1]
+
+    def test_spec_json_round_trip(self):
+        spec = ExperimentSpec(
+            "fig09",
+            scale=get_scale("tiny").scaled(num_keys=123),
+            overrides={"num_tasks": 3},
+            seed=7,
+            strategies=("mixed",),
+            sweep={"thetas": (0.02, 0.3)},
+            params={"windows": (1,)},
+        )
+        reloaded = ExperimentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert reloaded.experiment == "fig09"
+        assert reloaded.resolve_scale() == spec.resolve_scale()
+        assert reloaded.seed == 7
+        assert tuple(reloaded.strategies) == ("mixed",)
+        assert reloaded.driver_params()["thetas"] == [0.02, 0.3]
+
+
+class TestResultsStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        outcome = run(_quick_spec(seed=2), store=store)
+        run_id = outcome.metadata.run_id
+
+        assert store.run_ids() == [run_id]
+        loaded = store.load(run_id)
+        assert loaded.metadata == outcome.metadata
+        assert loaded.result.figure == outcome.result.figure
+        assert loaded.result.rows == outcome.result.rows
+        assert loaded.result.parameters == outcome.result.parameters
+        assert loaded.spec == outcome.spec
+
+        run_dir = tmp_path / "results" / run_id
+        assert (run_dir / "run.json").is_file()
+        assert (run_dir / "report.txt").read_text().startswith("Fig. 18")
+
+    def test_reloaded_spec_reruns_identically(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        outcome = run(_quick_spec(), store=store)
+        rerun = store.load(outcome.metadata.run_id).spec.run()
+        assert rerun.result.rows == outcome.result.rows
+
+    def test_collision_gets_suffixed(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        first = run(_quick_spec())
+        second = ExperimentRun(
+            spec=first.spec,
+            result=first.result,
+            metadata=RunMetadata.from_dict(first.metadata.to_dict()),
+        )
+        store.save(first)
+        store.save(second)
+        assert second.metadata.run_id == f"{first.metadata.run_id}-2"
+        assert len(store.run_ids()) == 2
+
+    def test_latest_and_list(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        assert store.latest_run_id() is None
+        assert store.list_runs() == []
+        run(_quick_spec(seed=0), store=store)
+        latest = run(_quick_spec(seed=1), store=store)
+        assert store.latest_run_id() == latest.metadata.run_id
+        assert [meta.seed for meta in store.list_runs()] == [0, 1]
+
+    def test_missing_run(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        with pytest.raises(KeyError, match="no run"):
+            store.load("nope")
+
+    def test_planner_run_artifact_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        outcome = run(_quick_spec(), store=store)
+        planner = PlannerRun(
+            algorithm="mixed",
+            rebalances=2,
+            generation_times=[0.1, 0.2],
+            migration_fractions=[0.3, 0.1],
+            table_sizes=[10, 12],
+            max_thetas=[0.05, 0.02],
+        )
+        store.save_artifact(outcome.metadata.run_id, "mixed", planner)
+        assert store.artifact_names(outcome.metadata.run_id) == ["mixed"]
+        loaded = store.load_artifact(outcome.metadata.run_id, "mixed")
+        assert isinstance(loaded, PlannerRun)
+        assert loaded == planner
+        assert loaded.avg_migration_fraction == pytest.approx(0.2)
+
+    def test_metrics_collector_artifact_round_trip(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        outcome = run(_quick_spec(), store=store)
+        collector = MetricsCollector(label="mixed")
+        collector.record(
+            IntervalMetrics(
+                interval=0,
+                throughput=10.0,
+                latency_ms=1.5,
+                rebalanced=True,
+                per_task_load={0: 1.0, 1: 2.0},
+            )
+        )
+        store.save_artifact(outcome.metadata.run_id, "sim.mixed", collector)
+        loaded = store.load_artifact(outcome.metadata.run_id, "sim.mixed")
+        assert isinstance(loaded, MetricsCollector)
+        assert loaded.label == "mixed"
+        assert len(loaded) == 1
+        assert loaded.intervals[0].per_task_load == {0: 1.0, 1: 2.0}
+        assert loaded.intervals[0].rebalanced is True
+
+    def test_missing_artifact(self, tmp_path):
+        store = ResultsStore(tmp_path / "results")
+        outcome = run(_quick_spec(), store=store)
+        with pytest.raises(KeyError, match="no artifact"):
+            store.load_artifact(outcome.metadata.run_id, "nope")
+
+
+class TestNanAggregates:
+    def test_planner_run_distinguishes_no_rebalances(self):
+        empty = PlannerRun(algorithm="mixed")
+        assert math.isnan(empty.avg_migration_fraction)
+        assert math.isnan(empty.avg_generation_time)
+        assert math.isnan(empty.avg_table_size)
+        assert empty.final_table_size == 0
+
+        zero = PlannerRun(algorithm="mixed", migration_fractions=[0.0])
+        assert zero.avg_migration_fraction == 0.0
+
+    def test_mean_helper(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert math.isnan(mean([]))
+        assert mean([], empty=0.0) == 0.0
+
+    def test_format_table_renders_nan_as_dash(self):
+        text = format_table([{"x": float("nan"), "y": 1.0}])
+        assert "—" in text
+
+    def test_experiment_result_nan_round_trips_through_store(self, tmp_path):
+        result = ExperimentResult(figure="Fig. X", title="nan demo")
+        result.add_row(metric=float("nan"))
+        spec = _quick_spec()
+        meta = RunMetadata(
+            run_id="x-1",
+            experiment="fig18",
+            figure="Fig. X",
+            scale="tiny",
+            seed=0,
+            wall_time_seconds=0.0,
+            created_at="2026-07-27T00:00:00+00:00",
+        )
+        store = ResultsStore(tmp_path / "results")
+        store.save(ExperimentRun(spec=spec, result=result, metadata=meta))
+        loaded = store.load("x-1")
+        assert math.isnan(loaded.result.rows[0]["metric"])
+        assert "—" in loaded.result.to_text()
