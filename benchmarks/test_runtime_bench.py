@@ -1,0 +1,38 @@
+"""Wall-clock process-runtime benchmark (the `repro bench` trajectory).
+
+Unlike the figure benchmarks (fluid model), this one spawns real worker
+processes and measures tuples/sec and latency percentiles per strategy —
+the first measured data points of the benchmark trajectory.  Marked ``slow``
+(like every file in this directory); run with::
+
+    REPRO_BENCH_SCALE=tiny pytest benchmarks/test_runtime_bench.py -s
+"""
+
+from repro.runtime.bench import RuntimeSpec, run_bench
+
+
+def test_runtime_bench_wordcount(bench_scale, tmp_path):
+    spec = RuntimeSpec(
+        workload="wordcount",
+        strategies=["storm", "mixed"],
+        parallelism=4,
+        scale=bench_scale,
+    )
+    run, outcomes = run_bench(
+        spec, output_path=tmp_path / "BENCH_runtime.json"
+    )
+    print()
+    print(run.result.to_text())
+
+    by_strategy = {row["strategy"]: row for row in run.result.rows}
+    for row in by_strategy.values():
+        assert row["tuples_per_second"] > 0
+        assert row["latency_p99_ms"] >= row["latency_p50_ms"]
+    # The headline claim: under a Zipf-skewed stream the mixed controller
+    # sustains higher measured throughput than static hashing.
+    assert (
+        by_strategy["mixed"]["tuples_per_second"]
+        > by_strategy["storm"]["tuples_per_second"]
+    )
+    assert outcomes["mixed"].moved_keys_total > 0
+    assert (tmp_path / "BENCH_runtime.json").is_file()

@@ -21,6 +21,10 @@ The package provides:
   a DBGen-like TPC-H generator.
 * :mod:`repro.experiments` — the benchmark harness regenerating every figure of
   the paper's evaluation (Figs. 7–21).
+* :mod:`repro.runtime` — the process-parallel execution engine: worker
+  processes hosting operator task instances behind bounded queues, online
+  rebalancing with live key migration, and wall-clock benchmarking
+  (``python -m repro bench``).
 """
 
 from repro.core.assignment import AssignmentFunction

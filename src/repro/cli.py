@@ -5,6 +5,7 @@ Commands::
     python -m repro run fig07 --scale tiny            # run one figure, save it
     python -m repro run myspec.json --seed 3          # run a JSON spec file
     python -m repro run all --scale tiny              # every registered figure
+    python -m repro bench wordcount --parallelism 4   # wall-clock process bench
     python -m repro list                              # experiments + strategies
     python -m repro list --runs                       # stored runs
     python -m repro report                            # render the latest run
@@ -13,6 +14,9 @@ Commands::
 ``run`` writes one directory per run under ``--results-dir`` (default
 ``./results``) containing ``run.json`` (spec + metadata + rows, re-runnable
 with ``repro run <dir>/run.json``) and ``report.txt`` (the rendered table).
+``bench`` executes a workload on the process-parallel runtime (real worker
+processes, measured tuples/sec and latency percentiles) and additionally
+writes the standalone ``BENCH_runtime.json`` report.
 """
 
 from __future__ import annotations
@@ -94,6 +98,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="only print run ids, not full tables"
     )
 
+    benchp = sub.add_parser(
+        "bench",
+        help="wall-clock benchmark on the process-parallel runtime",
+    )
+    benchp.add_argument(
+        "workload",
+        help="bench workload (wordcount | windowed_aggregate | tpch_q5)",
+    )
+    benchp.add_argument(
+        "--parallelism", type=int, default=4, help="worker processes (default 4)"
+    )
+    benchp.add_argument(
+        "--scale", default="tiny", help="scale preset (tiny|small|paper, default tiny)"
+    )
+    benchp.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    benchp.add_argument(
+        "--strategies",
+        default=None,
+        help="comma-separated strategy list (default: storm,mixed)",
+    )
+    benchp.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="override one ExperimentScale field (repeatable), e.g. --set skew=1.2",
+    )
+    benchp.add_argument(
+        "--service-time-us",
+        type=float,
+        default=50.0,
+        help="emulated per-cost-unit service time of each worker (default 50)",
+    )
+    benchp.add_argument(
+        "--batch-size", type=int, default=256, help="tuples per micro-batch"
+    )
+    benchp.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=8,
+        help="bounded worker-queue depth, in batches",
+    )
+    benchp.add_argument(
+        "--shed-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="shed a batch blocked longer than this (default: pure backpressure)",
+    )
+    benchp.add_argument(
+        "--output",
+        default="BENCH_runtime.json",
+        help="standalone JSON report path (default ./BENCH_runtime.json)",
+    )
+    benchp.add_argument(
+        "--results-dir", default="results", help="ResultsStore root (default ./results)"
+    )
+    benchp.add_argument(
+        "--no-save", action="store_true", help="skip the ResultsStore persistence"
+    )
+    benchp.add_argument(
+        "--quiet", action="store_true", help="only print the summary line per strategy"
+    )
+
     listp = sub.add_parser("list", help="list experiments, strategies and stored runs")
     listp.add_argument("--runs", action="store_true", help="only list stored runs")
     listp.add_argument(
@@ -161,9 +230,60 @@ def _specs_for(args: argparse.Namespace) -> List[Any]:
     return specs
 
 
+def _runtime_spec_payload(target: str) -> Optional[Dict[str, Any]]:
+    """The embedded RuntimeSpec when ``target`` is a stored bench run/spec."""
+    path = Path(target)
+    if not (target.endswith(".json") and path.is_file()):
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError:
+        return None
+    spec = payload.get("spec", payload)
+    params = spec.get("params", {}) if isinstance(spec, dict) else {}
+    runtime_spec = params.get("runtime_spec")
+    return runtime_spec if isinstance(runtime_spec, dict) else None
+
+
+def _rerun_bench(args: argparse.Namespace, payload: Dict[str, Any]) -> int:
+    """Re-execute a stored process-runtime bench (`repro run <run>/run.json`)."""
+    import dataclasses
+
+    from repro.experiments.store import ResultsStore
+    from repro.runtime.bench import RuntimeSpec, run_bench
+
+    spec = RuntimeSpec.from_dict(payload)
+    replacements: Dict[str, Any] = {}
+    if args.seed is not None:
+        replacements["seed"] = args.seed
+    if args.scale is not None:
+        replacements["scale"] = args.scale
+    if args.strategies is not None:
+        replacements["strategies"] = [
+            name for name in args.strategies.split(",") if name
+        ]
+    if replacements:
+        spec = dataclasses.replace(spec, **replacements)
+    store = None if args.no_save else ResultsStore(args.results_dir)
+    run, _ = run_bench(spec, store=store, output_path=None)
+    if not args.quiet:
+        print(run.result.to_text())
+    meta = run.metadata
+    location = f" -> {Path(args.results_dir) / meta.run_id}" if store is not None else ""
+    print(
+        f"[bench {spec.workload} engine={meta.engine} cpus={meta.host_cpu_count} "
+        f"{meta.wall_time_seconds:.1f}s{location}]"
+    )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.specs import run_batch
     from repro.experiments.store import ResultsStore
+
+    runtime_payload = _runtime_spec_payload(args.experiment)
+    if runtime_payload is not None:
+        return _rerun_bench(args, runtime_payload)
 
     store = None if args.no_save else ResultsStore(args.results_dir)
     specs = _specs_for(args)
@@ -181,6 +301,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
 
     run_batch(specs, store=store, on_result=report)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.store import ResultsStore
+    from repro.runtime.bench import DEFAULT_STRATEGIES, RuntimeSpec, run_bench
+
+    strategies = (
+        [name for name in args.strategies.split(",") if name]
+        if args.strategies is not None
+        else list(DEFAULT_STRATEGIES)
+    )
+    try:
+        spec = RuntimeSpec(
+            workload=args.workload,
+            strategies=strategies,
+            parallelism=args.parallelism,
+            scale=args.scale,
+            overrides=_parse_assignments(args.overrides, "--set"),
+            seed=args.seed,
+            service_time_us=args.service_time_us,
+            batch_size=args.batch_size,
+            queue_capacity=args.queue_capacity,
+            shed_timeout_seconds=args.shed_timeout,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    store = None if args.no_save else ResultsStore(args.results_dir)
+
+    def progress(name: str, outcome) -> None:
+        summary = outcome.summary()
+        print(
+            f"[{name}: {summary['tuples']:.0f} tuples in "
+            f"{summary['wall_seconds']:.2f}s -> "
+            f"{summary['tuples_per_second']:,.0f} tuples/s, "
+            f"p50={summary['latency_p50_ms']:.1f}ms "
+            f"p99={summary['latency_p99_ms']:.1f}ms, "
+            f"rebalances={summary['rebalances']:.0f} "
+            f"pause={summary['pause_seconds']:.3f}s]"
+        )
+
+    run, _ = run_bench(
+        spec, store=store, output_path=args.output, on_result=progress
+    )
+    if not args.quiet:
+        print(run.result.to_text())
+    meta = run.metadata
+    location = f" -> {Path(args.results_dir) / meta.run_id}" if store is not None else ""
+    print(
+        f"[bench {spec.workload} engine={meta.engine} cpus={meta.host_cpu_count} "
+        f"{meta.wall_time_seconds:.1f}s report={args.output}{location}]"
+    )
     return 0
 
 
@@ -210,7 +382,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
     for meta in runs:
         print(
             f"  {meta.run_id:<40} {meta.figure:<8} scale={meta.scale:<6} "
-            f"seed={meta.seed} {meta.wall_time_seconds:6.1f}s {meta.created_at}"
+            f"seed={meta.seed} engine={meta.engine:<7} "
+            f"{meta.wall_time_seconds:6.1f}s {meta.created_at}"
         )
     return 0
 
@@ -242,6 +415,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "report":

@@ -13,7 +13,45 @@ from __future__ import annotations
 
 from typing import Dict, Mapping
 
-__all__ = ["admissible_fraction", "throttled_loads"]
+__all__ = ["ShedLedger", "admissible_fraction", "throttled_loads"]
+
+
+class ShedLedger:
+    """Observable per-task account of shed (dropped) tuples.
+
+    Shedding used to vanish into an aggregate counter; the ledger keeps the
+    per-task totals so the metrics layer can report *which* task dropped work
+    (the overloaded one) rather than only how much was dropped overall.  Both
+    execution engines use it: the fluid simulator records the executor's
+    per-interval shed volume, and the process runtime's router records batches
+    dropped when a worker queue stays full past the shed timeout.
+    """
+
+    def __init__(self) -> None:
+        self._by_task: Dict[int, float] = {}
+
+    def record(self, task: int, tuples: float) -> None:
+        """Charge ``tuples`` shed tuples to ``task`` (non-positive is a no-op)."""
+        if tuples <= 0:
+            return
+        self._by_task[task] = self._by_task.get(task, 0.0) + tuples
+
+    def by_task(self) -> Dict[int, float]:
+        """``{task: shed tuples}`` for every task that shed anything."""
+        return dict(self._by_task)
+
+    @property
+    def total(self) -> float:
+        return sum(self._by_task.values())
+
+    def clear(self) -> None:
+        self._by_task.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self._by_task)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShedLedger(total={self.total:.0f}, tasks={sorted(self._by_task)})"
 
 
 def admissible_fraction(

@@ -37,6 +37,9 @@ class IntervalMetrics:
     rebalanced: bool = False
     num_tasks: int = 0
     per_task_load: Dict[int, float] = field(default_factory=dict)
+    #: Shed (dropped) tuples per task this interval — kept per task so the
+    #: overloaded task is identifiable, not just the aggregate volume.
+    per_task_shed: Dict[int, float] = field(default_factory=dict)
 
 
 class MetricsCollector:
@@ -122,6 +125,18 @@ class MetricsCollector:
     def rebalance_count(self) -> int:
         return sum(1 for record in self.intervals if record.rebalanced)
 
+    @property
+    def total_shed_tuples(self) -> float:
+        return sum(self.series("shed_tuples"))
+
+    def shed_by_task(self) -> Dict[int, float]:
+        """Cumulative shed-tuple totals per task across the whole run."""
+        totals: Dict[int, float] = {}
+        for record in self.intervals:
+            for task, shed in record.per_task_shed.items():
+                totals[task] = totals.get(task, 0.0) + shed
+        return totals
+
     def summary(self) -> Dict[str, float]:
         """A compact dictionary of headline numbers for reports."""
         return {
@@ -148,6 +163,9 @@ class MetricsCollector:
             row["per_task_load"] = {
                 str(task): load for task, load in record.per_task_load.items()
             }
+            row["per_task_shed"] = {
+                str(task): shed for task, shed in record.per_task_shed.items()
+            }
             records.append(row)
         return {"label": self.label, "intervals": records}
 
@@ -161,6 +179,10 @@ class MetricsCollector:
             values["per_task_load"] = {
                 int(task): load
                 for task, load in (row.get("per_task_load") or {}).items()
+            }
+            values["per_task_shed"] = {
+                int(task): shed
+                for task, shed in (row.get("per_task_shed") or {}).items()
             }
             collector.record(IntervalMetrics(**values))
         return collector

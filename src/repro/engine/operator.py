@@ -166,6 +166,11 @@ class Task:
         self.metrics.cost_processed += total_cost
         self.metrics.state_installed += total_delta
 
+    @property
+    def has_open_interval(self) -> bool:
+        """True when tuples were measured since the last :meth:`end_interval`."""
+        return self._interval_stats is not None
+
     def end_interval(self) -> IntervalStats:
         """Close the current interval and return its measurements (step 1)."""
         if self._interval_stats is None:

@@ -30,6 +30,7 @@ from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
 
 from repro.baselines.base import Partitioner
 from repro.core.load import max_balance_indicator, max_skewness
+from repro.engine.backpressure import ShedLedger
 from repro.core.statistics import IntervalStats
 from repro.engine.executor import ExecutorConfig, TaskExecutor
 from repro.engine.metrics import IntervalMetrics, MetricsCollector
@@ -123,6 +124,8 @@ class _StageRuntime:
         #: level view of the executor's cost backlog) — they are forwarded
         #: downstream in the interval they are eventually served.
         self.pending_freqs: Dict[int, Dict[Key, float]] = {}
+        #: Cumulative shed tuples per task (observable backpressure drops).
+        self.shed_ledger = ShedLedger()
         self.metrics = MetricsCollector(label=stage.name)
         if self.capacity is not None:
             self._build_executors()
@@ -218,6 +221,7 @@ class _StageRuntime:
         processed_tuples = 0.0
         processed_cost = 0.0
         shed_tuples = 0.0
+        shed_by_task: Dict[int, float] = {}
         backlog_total = 0.0
         latency_weighted = 0.0
         #: Per-task tuples served this interval, by key (drives the output stream).
@@ -267,6 +271,9 @@ class _StageRuntime:
             processed_tuples += task_processed_tuples
             processed_cost += outcome.processed
             shed_tuples += task_shed_tuples
+            if task_shed_tuples > 0:
+                shed_by_task[task_id] = task_shed_tuples
+                self.shed_ledger.record(task_id, task_shed_tuples)
             backlog_total += outcome.backlog
             latency_weighted += outcome.latency_ms * max(task_processed_tuples, 0.0)
             task.end_interval()
@@ -337,6 +344,7 @@ class _StageRuntime:
             rebalanced=rebalance is not None,
             num_tasks=num_tasks,
             per_task_load=dict(offered_cost),
+            per_task_shed=shed_by_task,
         )
         self.metrics.record(record)
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import subprocess
 import time
 from dataclasses import dataclass, field
@@ -261,7 +262,14 @@ class ExperimentSpec:
 
 @dataclass(frozen=True)
 class RunMetadata:
-    """Provenance stamped onto every experiment run."""
+    """Provenance stamped onto every experiment run.
+
+    ``engine`` records which execution engine produced the result — the fluid
+    interval simulator (``"fluid"``) or the process-parallel runtime
+    (``"process"``) — and ``host_cpu_count`` the CPUs of the producing host,
+    so stored runs are comparable across machines: a wall-clock number from a
+    2-core laptop is not the same measurement as one from a 64-core server.
+    """
 
     run_id: str
     experiment: str
@@ -272,6 +280,8 @@ class RunMetadata:
     created_at: str
     git_rev: Optional[str] = None
     repro_version: str = ""
+    engine: str = "fluid"
+    host_cpu_count: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -341,6 +351,8 @@ def run(
         created_at=datetime.now(timezone.utc).isoformat(timespec="microseconds"),
         git_rev=git_revision(),
         repro_version=__version__,
+        engine="fluid",
+        host_cpu_count=os.cpu_count(),
     )
     outcome = ExperimentRun(spec=spec, result=result, metadata=metadata)
     if store is not None:

@@ -25,8 +25,6 @@ from dataclasses import replace
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
-from repro.engine.metrics import MetricsCollector
-from repro.experiments.harness import PlannerRun
 from repro.experiments.specs import ExperimentRun, RunMetadata
 
 __all__ = ["ResultsStore", "DEFAULT_RESULTS_DIR"]
@@ -38,14 +36,26 @@ _RUN_FILE = "run.json"
 _REPORT_FILE = "report.txt"
 _ARTIFACT_DIR = "artifacts"
 
-_ARTIFACT_KINDS = {
-    "planner_run": PlannerRun,
-    "metrics_collector": MetricsCollector,
-}
+def _artifact_classes() -> Dict[str, type]:
+    """Typed artifact kinds, resolved lazily.
+
+    Imported on demand so the store keeps no static dependency on the layers
+    holding the artifact classes (``repro.runtime`` imports the experiment
+    layer back, so a module-level import would create a cycle).
+    """
+    from repro.engine.metrics import MetricsCollector
+    from repro.experiments.harness import PlannerRun
+    from repro.runtime.histogram import LatencyHistogram
+
+    return {
+        "planner_run": PlannerRun,
+        "metrics_collector": MetricsCollector,
+        "latency_histogram": LatencyHistogram,
+    }
 
 
 def _artifact_kind(payload: Any) -> Optional[str]:
-    for kind, cls in _ARTIFACT_KINDS.items():
+    for kind, cls in _artifact_classes().items():
         if isinstance(payload, cls):
             return kind
     return None
@@ -162,7 +172,7 @@ class ResultsStore:
                 f"known: {self.artifact_names(run_id)}"
             )
         body = json.loads(path.read_text())
-        cls = _ARTIFACT_KINDS.get(body.get("kind", "json"))
+        cls = _artifact_classes().get(body.get("kind", "json"))
         data = body.get("data")
         return cls.from_dict(data) if cls is not None else data
 

@@ -1,0 +1,48 @@
+"""Process-parallel streaming runtime.
+
+Where :mod:`repro.engine.simulator` *models* an interval as a fluid
+single-server queue, this package *executes* it: a :class:`LocalRuntime`
+spawns N worker processes (``multiprocessing``), each hosting one
+:class:`~repro.engine.operator.Task` instance of the operator under study,
+fed through bounded queues (natural backpressure: the dispatcher blocks when
+the slowest worker's queue is full, exactly Storm's backpushing effect).  A
+:class:`~repro.runtime.router.StreamRouter` dispatches micro-batches using the
+strategy registry's :meth:`~repro.baselines.base.Partitioner.assign_batch`
+fast path; a :class:`~repro.runtime.controller.RuntimeController` runs the
+paper's rebalancing planner online at interval boundaries and drives **live
+key migration** between workers (pause-key → ship
+:class:`~repro.engine.state.KeyedState` → resume), measuring the real
+wall-clock pause.  Per-worker throughput counters and latency histograms are
+aggregated into :class:`~repro.engine.metrics.MetricsCollector`-compatible
+results, so fluid and process runs are directly comparable.
+
+Workers emulate a fixed per-task service capacity (``service_time_us`` per
+cost unit, enforced by pacing), mirroring the paper's saturated-CPU setup:
+measured throughput then degrades with workload imbalance even when the host
+has fewer cores than workers, because paced (sleeping) workers overlap.
+"""
+
+from repro.runtime.bench import (
+    BENCH_WORKLOADS,
+    RuntimeSpec,
+    run_bench,
+    write_bench_report,
+)
+from repro.runtime.controller import LiveMigrationReport, RuntimeController
+from repro.runtime.histogram import LatencyHistogram
+from repro.runtime.local import LocalRuntime, RuntimeConfig, RuntimeResult
+from repro.runtime.router import StreamRouter
+
+__all__ = [
+    "BENCH_WORKLOADS",
+    "LatencyHistogram",
+    "LiveMigrationReport",
+    "LocalRuntime",
+    "RuntimeConfig",
+    "RuntimeController",
+    "RuntimeResult",
+    "RuntimeSpec",
+    "StreamRouter",
+    "run_bench",
+    "write_bench_report",
+]

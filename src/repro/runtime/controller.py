@@ -1,0 +1,235 @@
+"""Online rebalancing and live key migration for the process runtime.
+
+At every interval boundary the coordinator hands the controller the interval's
+dispatched key statistics; the controller runs the partitioner's planning hook
+(:meth:`~repro.baselines.base.Partitioner.on_interval_end` — the same entry
+point the fluid simulator uses, so any registered rebalancing strategy works
+unchanged) and, when a plan comes back, executes it **live** against the
+running worker processes:
+
+1. *Pause* — the router stops dispatching the affected keys (``Δ(F, F′)``)
+   and buffers their tuples; unaffected keys keep flowing.
+2. *Ship* — each source worker receives an ``ExtractKeys`` command through
+   its FIFO inbound queue, which it only reaches after processing every
+   previously dispatched tuple of those keys; it extracts the windowed
+   :class:`~repro.engine.state.KeyedState` and ships it back.
+3. *Install* — the coordinator forwards the snapshots to the new owners and
+   waits for their acks.
+4. *Resume* — the router re-dispatches the buffered tuples under the new
+   assignment.
+
+The hand-off is *asynchronous*: after step 2 is initiated the coordinator
+returns to dispatching the next interval (tuples of paused keys buffer at the
+router; everything else flows) and advances the protocol by polling between
+micro-batches.  The measured ``pause_seconds`` is therefore real wall-clock
+time under load: it includes the queue drain on busy source workers,
+serialisation and the scheduling latency of the hand-off — the quantity the
+fluid model only estimates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.baselines.base import Partitioner
+from repro.core.statistics import IntervalStats
+from repro.runtime.messages import ExtractKeys, InstallAck, InstallState, StateShipment
+
+__all__ = ["LiveMigrationReport", "RuntimeController"]
+
+Key = Hashable
+
+
+@dataclass
+class LiveMigrationReport:
+    """Outcome of one live rebalance executed against running workers."""
+
+    interval: int
+    moved_keys: int = 0
+    moved_state: float = 0.0
+    pause_seconds: float = 0.0
+    released_tuples: int = 0
+    generation_time: float = 0.0
+    migration_fraction: float = 0.0
+    table_size: int = 0
+    source_workers: List[int] = field(default_factory=list)
+    target_workers: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "moved_keys": self.moved_keys,
+            "moved_state": self.moved_state,
+            "pause_seconds": self.pause_seconds,
+            "released_tuples": self.released_tuples,
+            "generation_time": self.generation_time,
+            "migration_fraction": self.migration_fraction,
+            "table_size": self.table_size,
+            "source_workers": list(self.source_workers),
+            "target_workers": list(self.target_workers),
+        }
+
+
+class _PendingMigration:
+    """State machine of one in-flight pause → ship → install → resume hand-off."""
+
+    __slots__ = (
+        "report",
+        "target_of",
+        "started",
+        "expected_shipments",
+        "shipments",
+        "expected_acks",
+        "phase",
+    )
+
+    def __init__(
+        self,
+        report: LiveMigrationReport,
+        target_of: Dict[Key, int],
+        expected_shipments: int,
+        started: float,
+    ) -> None:
+        self.report = report
+        self.target_of = target_of
+        self.started = started
+        self.expected_shipments = expected_shipments
+        self.shipments: List[StateShipment] = []
+        self.expected_acks = 0
+        self.phase = "ship"
+
+
+class RuntimeController:
+    """Runs the rebalancing planner online and drives live state migration."""
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        router: Any,
+        worker_queues: Sequence[Any],
+        mailbox: Any,
+    ) -> None:
+        """``mailbox`` is the coordinator's outbound-queue demultiplexer; it
+        must offer ``collect(message_type, expected)`` (blocking) and
+        ``drain(message_type)`` (non-blocking) — see ``LocalRuntime``."""
+        self.partitioner = partitioner
+        self.router = router
+        self.worker_queues = list(worker_queues)
+        self.mailbox = mailbox
+        self.migrations: List[LiveMigrationReport] = []
+        self._pending: Optional[_PendingMigration] = None
+
+    # -- planning -----------------------------------------------------------------
+
+    def end_interval(self, stats: IntervalStats) -> Optional[LiveMigrationReport]:
+        """Plan on the finished interval; start any migration live.
+
+        A hand-off still in flight from the previous interval is completed
+        (blocking) first — one migration at a time, as in the paper's
+        controller.
+        """
+        self.finish_pending()
+        rebalance = self.partitioner.on_interval_end(stats)
+        if rebalance is None:
+            return None
+        report = LiveMigrationReport(
+            interval=stats.interval,
+            generation_time=getattr(rebalance, "generation_time", 0.0),
+            migration_fraction=getattr(rebalance, "migration_fraction", 0.0),
+            table_size=getattr(rebalance, "table_size", 0),
+        )
+        plan = rebalance.migration_plan
+        if plan:
+            self._begin_live(plan, report)
+        self.migrations.append(report)
+        return report
+
+    # -- the pause → ship → install → resume protocol -----------------------------
+
+    def _begin_live(self, plan, report: LiveMigrationReport) -> None:
+        target_of: Dict[Key, int] = {move.key: move.target for move in plan}
+        by_source = plan.moves_by_source()
+        started = time.monotonic()
+        self.router.pause(target_of.keys())
+        for source, moves in sorted(by_source.items()):
+            self.worker_queues[source].put(
+                ExtractKeys(keys=[move.key for move in moves])
+            )
+        report.moved_keys = len(target_of)
+        report.source_workers = sorted(by_source)
+        self._pending = _PendingMigration(
+            report, target_of, expected_shipments=len(by_source), started=started
+        )
+
+    def poll(self) -> None:
+        """Advance an in-flight hand-off without blocking (dispatch-loop hook)."""
+        self._advance(blocking=False)
+
+    def finish_pending(self) -> None:
+        """Run an in-flight hand-off to completion (interval/shutdown barrier)."""
+        self._advance(blocking=True)
+
+    def _advance(self, *, blocking: bool) -> None:
+        pending = self._pending
+        if pending is None:
+            return
+        if pending.phase == "ship":
+            if blocking:
+                missing = pending.expected_shipments - len(pending.shipments)
+                pending.shipments.extend(self.mailbox.collect(StateShipment, missing))
+            else:
+                pending.shipments.extend(self.mailbox.drain(StateShipment))
+            if len(pending.shipments) < pending.expected_shipments:
+                return
+            self._install(pending)
+        if pending.phase == "ack":
+            acked = (
+                self.mailbox.collect(InstallAck, pending.expected_acks)
+                if blocking
+                else self.mailbox.drain(InstallAck)
+            )
+            pending.expected_acks -= len(acked)
+            if pending.expected_acks > 0:
+                return
+            self._resume(pending)
+
+    def _install(self, pending: _PendingMigration) -> None:
+        report = pending.report
+        per_target: Dict[int, List[Tuple[Key, Any]]] = {}
+        for shipment in pending.shipments:
+            report.moved_state += shipment.state_size
+            for key, snapshot in shipment.entries:
+                per_target.setdefault(pending.target_of[key], []).append(
+                    (key, snapshot)
+                )
+        for target, entries in sorted(per_target.items()):
+            self.worker_queues[target].put(InstallState(entries=entries))
+        report.target_workers = sorted(per_target)
+        pending.expected_acks = len(per_target)
+        pending.phase = "ack"
+
+    def _resume(self, pending: _PendingMigration) -> None:
+        report = pending.report
+        report.released_tuples = self.router.resume()
+        report.pause_seconds = time.monotonic() - pending.started
+        self._pending = None
+
+    # -- aggregates ----------------------------------------------------------------
+
+    @property
+    def migration_in_flight(self) -> bool:
+        return self._pending is not None
+
+    @property
+    def total_pause_seconds(self) -> float:
+        return sum(report.pause_seconds for report in self.migrations)
+
+    @property
+    def total_moved_keys(self) -> int:
+        return sum(report.moved_keys for report in self.migrations)
+
+    @property
+    def rebalance_count(self) -> int:
+        return len(self.migrations)

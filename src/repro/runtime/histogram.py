@@ -1,0 +1,151 @@
+"""Mergeable log-bucketed latency histogram.
+
+Worker processes record one latency sample per processed tuple; shipping raw
+samples back to the coordinator would dominate the queue traffic, so each
+worker keeps a :class:`LatencyHistogram` — geometric buckets from 1 µs to
+~1000 s — and ships only the bucket counts.  Histograms from all workers merge
+by adding counts, and quantiles (p50/p99) are read off the merged histogram
+with bounded relative error (the bucket growth factor).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["LatencyHistogram"]
+
+#: Geometric bucket growth factor; relative quantile error is at most this.
+_GROWTH = 1.25
+_LOG_GROWTH = math.log(_GROWTH)
+
+#: Lower edge of the first bucket, in microseconds.
+_MIN_US = 1.0
+
+#: Number of buckets: covers up to _MIN_US * _GROWTH**_NUM_BUCKETS ≈ 1.6e9 µs.
+_NUM_BUCKETS = 96
+
+
+class LatencyHistogram:
+    """Fixed-layout geometric histogram of latencies in microseconds."""
+
+    __slots__ = ("counts", "total", "sum_us", "max_us")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * _NUM_BUCKETS
+        self.total = 0
+        self.sum_us = 0.0
+        self.max_us = 0.0
+
+    @staticmethod
+    def _bucket(value_us: float) -> int:
+        if value_us <= _MIN_US:
+            return 0
+        index = int(math.log(value_us / _MIN_US) / _LOG_GROWTH)
+        return min(index, _NUM_BUCKETS - 1)
+
+    @staticmethod
+    def _bucket_upper(index: int) -> float:
+        return _MIN_US * _GROWTH ** (index + 1)
+
+    # -- recording ----------------------------------------------------------------
+
+    def record(self, value_us: float, count: int = 1) -> None:
+        """Record ``count`` samples of ``value_us`` microseconds."""
+        if count <= 0:
+            return
+        if value_us < 0:
+            value_us = 0.0
+        self.counts[self._bucket(value_us)] += count
+        self.total += count
+        self.sum_us += value_us * count
+        if value_us > self.max_us:
+            self.max_us = value_us
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s samples into this histogram (returns self)."""
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.total += other.total
+        self.sum_us += other.sum_us
+        self.max_us = max(self.max_us, other.max_us)
+        return self
+
+    # -- queries ------------------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile latency in microseconds (0.0 when empty).
+
+        Returns the upper edge of the bucket containing the quantile, so the
+        estimate errs on the pessimistic side by at most the growth factor.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= target:
+                return min(self._bucket_upper(index), self.max_us or float("inf"))
+        return self.max_us
+
+    @property
+    def p50_us(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99_us(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def mean_us(self) -> float:
+        return self.sum_us / self.total if self.total else 0.0
+
+    def summary_ms(self) -> Dict[str, float]:
+        """Headline numbers in milliseconds (what the bench report prints)."""
+        return {
+            "latency_p50_ms": self.p50_us / 1000.0,
+            "latency_p99_ms": self.p99_us / 1000.0,
+            "latency_mean_ms": self.mean_us / 1000.0,
+            "latency_max_ms": self.max_us / 1000.0,
+            "samples": float(self.total),
+        }
+
+    # -- persistence --------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready sparse representation."""
+        return {
+            "growth": _GROWTH,
+            "min_us": _MIN_US,
+            "counts": {
+                str(index): count
+                for index, count in enumerate(self.counts)
+                if count > 0
+            },
+            "total": self.total,
+            "sum_us": self.sum_us,
+            "max_us": self.max_us,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "LatencyHistogram":
+        """Inverse of :meth:`to_dict`."""
+        histogram = cls()
+        for index, count in dict(payload.get("counts", {})).items():  # type: ignore[arg-type]
+            histogram.counts[int(index)] = int(count)
+        histogram.total = int(payload.get("total", 0))
+        histogram.sum_us = float(payload.get("sum_us", 0.0))
+        histogram.max_us = float(payload.get("max_us", 0.0))
+        return histogram
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LatencyHistogram(samples={self.total}, p50={self.p50_us:.0f}us, "
+            f"p99={self.p99_us:.0f}us)"
+        )

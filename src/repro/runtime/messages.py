@@ -1,0 +1,151 @@
+"""Message types flowing between the coordinator and the worker processes.
+
+Each worker has one bounded *inbound* queue carrying data **and** control
+messages in FIFO order, and all workers share one *outbound* queue back to the
+coordinator.  The in-order inbound queue is what makes live migration safe: an
+:class:`ExtractKeys` command enqueued after a key's last data batch is
+processed only once every preceding tuple of that key has been applied to the
+worker's state, so the shipped snapshot is complete (steps 3–6 of the paper's
+Fig. 5 protocol without a separate ack channel).
+
+Everything here must pickle cheaply: batches carry plain ``(key, value)``
+pairs rather than :class:`~repro.engine.tuples.StreamTuple` objects (the
+worker rebuilds tuples locally), and replies carry aggregates, not samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Mapping, Tuple
+
+from repro.engine.state import KeyStateSnapshot
+
+__all__ = [
+    "TupleBatch",
+    "EndInterval",
+    "ExtractKeys",
+    "InstallState",
+    "EndOfStream",
+    "IntervalReport",
+    "StateShipment",
+    "InstallAck",
+    "FinalReport",
+    "WorkerError",
+]
+
+Key = Hashable
+
+
+# -- coordinator -> worker ---------------------------------------------------------
+
+
+@dataclass
+class TupleBatch:
+    """A micro-batch of tuples routed to one worker.
+
+    ``sent_at`` is a ``time.monotonic()`` stamp taken when the batch was
+    enqueued; per-tuple latency is measured against it on the worker (on
+    Linux the monotonic clock is system-wide, so stamps are comparable
+    across processes).
+    """
+
+    interval: int
+    sent_at: float
+    tuples: List[Tuple[Key, Any]]
+
+
+@dataclass
+class EndInterval:
+    """Marks the interval boundary; the worker replies with an IntervalReport."""
+
+    interval: int
+
+
+@dataclass
+class ExtractKeys:
+    """Hand over the windowed state of ``keys`` (source side of a migration)."""
+
+    keys: List[Key]
+
+
+@dataclass
+class InstallState:
+    """Install previously extracted snapshots (target side of a migration)."""
+
+    entries: List[Tuple[Key, KeyStateSnapshot]]
+
+
+@dataclass
+class EndOfStream:
+    """No more data; reply with a FinalReport and exit.
+
+    ``collect_state`` asks the worker to include its final per-key windowed
+    payloads in the report (used by correctness tests; off for benchmarks,
+    where the state can be large).
+    """
+
+    collect_state: bool = False
+
+
+# -- worker -> coordinator ---------------------------------------------------------
+
+
+@dataclass
+class IntervalReport:
+    """Per-worker account of one finished interval.
+
+    Because the inbound queue is FIFO, ``processed`` counts exactly the tuples
+    of that interval which were dispatched to this worker — the report is
+    emitted when the worker reaches the interval's :class:`EndInterval`
+    marker, after the last of its batches.
+    """
+
+    worker_id: int
+    interval: int
+    processed: int
+    cost: float
+    busy_seconds: float
+    #: Sum of per-tuple latencies (µs) over the interval, for weighted means.
+    latency_us_sum: float = 0.0
+
+
+@dataclass
+class StateShipment:
+    """The extracted windowed state snapshots, shipped to the coordinator."""
+
+    worker_id: int
+    entries: List[Tuple[Key, KeyStateSnapshot]]
+    state_size: float
+
+
+@dataclass
+class InstallAck:
+    """Acknowledges an InstallState command."""
+
+    worker_id: int
+    installed_keys: int
+
+
+@dataclass
+class FinalReport:
+    """Lifetime totals of one worker, sent right before it exits."""
+
+    worker_id: int
+    processed: int
+    cost: float
+    busy_seconds: float
+    histogram: Dict[str, Any]
+    migrations_in: int
+    migrations_out: int
+    state_size: float
+    state_keys: int
+    #: ``{key: [windowed payloads, oldest first]}`` when collect_state was set.
+    final_state: Dict[Key, List[Any]] = field(default_factory=dict)
+
+
+@dataclass
+class WorkerError:
+    """A worker crashed; carries the formatted traceback."""
+
+    worker_id: int
+    message: str

@@ -1,0 +1,196 @@
+"""Batch dispatcher feeding the worker queues.
+
+The router is the runtime twin of the simulator's snapshot routing: it groups
+each micro-batch of tuples by destination with the partitioner's memoised
+:meth:`~repro.baselines.base.Partitioner.assign_batch` fast path and enqueues
+one :class:`~repro.runtime.messages.TupleBatch` per destination worker.
+
+Two behaviours come from the queues being *bounded*:
+
+* **Backpressure** (default): a full worker queue blocks the dispatcher, so
+  the whole pipeline runs at the pace of the slowest task — Storm's
+  backpushing effect, the very phenomenon the paper measures.
+* **Shedding** (``shed_timeout_seconds`` set): a put that stays blocked past
+  the timeout drops the batch instead, and the drop is charged to the worker
+  in a :class:`~repro.engine.backpressure.ShedLedger` so it stays observable.
+
+During a live migration the controller *pauses* the affected keys: their
+tuples are held in a router-side buffer (stamped on arrival, so the pause
+shows up in their measured latency) and are re-dispatched under the new
+assignment when the controller resumes.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.baselines.base import Partitioner
+from repro.engine.backpressure import ShedLedger
+from repro.engine.operator import OperatorLogic
+from repro.runtime.messages import TupleBatch
+
+__all__ = ["StreamRouter"]
+
+Key = Hashable
+
+
+class StreamRouter:
+    """Routes micro-batches of ``(key, value)`` tuples to worker queues."""
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        logic: OperatorLogic,
+        worker_queues: Sequence[Any],
+        *,
+        batch_size: int = 256,
+        shed_timeout_seconds: Optional[float] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if len(worker_queues) != partitioner.num_tasks:
+            raise ValueError(
+                f"partitioner routes over {partitioner.num_tasks} tasks but "
+                f"{len(worker_queues)} worker queues were given"
+            )
+        self.partitioner = partitioner
+        self.logic = logic
+        self.worker_queues = list(worker_queues)
+        self.batch_size = int(batch_size)
+        self.shed_timeout_seconds = shed_timeout_seconds
+        self.shed_ledger = ShedLedger()
+
+        self._paused_keys: set = set()
+        #: Held tuples of paused keys: ``(key, value, interval, buffered_at)``.
+        self._pause_buffer: List[Tuple[Key, Any, int, float]] = []
+
+        # Per-interval dispatch accounting (reset by begin_interval).
+        self.dispatched_freqs: Dict[Key, float] = {}
+        self.offered_tuples: Dict[int, float] = {}
+        self.offered_cost: Dict[int, float] = {}
+        self.shed_tuples_interval: Dict[int, float] = {}
+        self._interval = 0
+
+    # -- interval accounting ------------------------------------------------------
+
+    def begin_interval(self, interval: int) -> None:
+        """Reset the per-interval dispatch counters."""
+        self._interval = int(interval)
+        self.dispatched_freqs = {}
+        self.offered_tuples = {task: 0.0 for task in range(len(self.worker_queues))}
+        self.offered_cost = {task: 0.0 for task in range(len(self.worker_queues))}
+        self.shed_tuples_interval = {}
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def dispatch(
+        self,
+        tuples: Iterable[Tuple[Key, Any]],
+        pump: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Route and enqueue a stream of ``(key, value)`` tuples in micro-batches.
+
+        ``pump`` is called between micro-batches; the coordinator uses it to
+        advance an in-flight migration hand-off while dispatch continues.
+        """
+        chunk: List[Tuple[Key, Any]] = []
+        for pair in tuples:
+            chunk.append(pair)
+            if len(chunk) >= self.batch_size:
+                self._dispatch_chunk(chunk)
+                chunk = []
+                if pump is not None:
+                    pump()
+        if chunk:
+            self._dispatch_chunk(chunk)
+            if pump is not None:
+                pump()
+
+    def _dispatch_chunk(self, chunk: List[Tuple[Key, Any]]) -> None:
+        tuple_cost = self.logic.tuple_cost
+        destinations = self.partitioner.assign_batch([key for key, _ in chunk])
+        per_task: Dict[int, List[Tuple[Key, Any]]] = {}
+        now = time.monotonic()
+        for (key, value), task in zip(chunk, destinations):
+            self.dispatched_freqs[key] = self.dispatched_freqs.get(key, 0.0) + 1.0
+            self.offered_tuples[task] = self.offered_tuples.get(task, 0.0) + 1.0
+            self.offered_cost[task] = (
+                self.offered_cost.get(task, 0.0) + tuple_cost(key, value)
+            )
+            if key in self._paused_keys:
+                self._pause_buffer.append((key, value, self._interval, now))
+                continue
+            per_task.setdefault(task, []).append((key, value))
+        for task, batch in per_task.items():
+            self._put(task, TupleBatch(interval=self._interval, sent_at=now, tuples=batch))
+
+    def _put(self, task: int, batch: TupleBatch) -> None:
+        if self.shed_timeout_seconds is None:
+            self.worker_queues[task].put(batch)
+            return
+        try:
+            self.worker_queues[task].put(batch, timeout=self.shed_timeout_seconds)
+        except queue_module.Full:
+            count = len(batch.tuples)
+            self.shed_ledger.record(task, count)
+            self.shed_tuples_interval[task] = (
+                self.shed_tuples_interval.get(task, 0.0) + count
+            )
+
+    # -- pause / resume (live migration support) ----------------------------------
+
+    def pause(self, keys: Iterable[Key]) -> None:
+        """Stop dispatching ``keys``; their tuples are buffered until resume."""
+        self._paused_keys.update(keys)
+
+    def resume(self) -> int:
+        """Release every paused key and re-dispatch the buffered tuples.
+
+        The buffered tuples are routed under the *current* assignment (the
+        rebalanced one) and stamped with their buffering time, so the pause
+        they sat through is part of their measured latency.  Returns the
+        number of released tuples.
+        """
+        self._paused_keys.clear()
+        buffered, self._pause_buffer = self._pause_buffer, []
+        released = len(buffered)
+        index = 0
+        while index < len(buffered):
+            chunk = buffered[index : index + self.batch_size]
+            index += self.batch_size
+            destinations = self.partitioner.assign_batch([key for key, *_ in chunk])
+            per_task: Dict[int, List[Tuple[Key, Any]]] = {}
+            for (key, value, interval, stamped_at), task in zip(chunk, destinations):
+                per_task.setdefault(task, []).append((key, value))
+            # One batch per destination, stamped with the oldest buffer time so
+            # the wait is charged to the released tuples' latency.
+            oldest = min(stamped_at for *_, stamped_at in chunk)
+            interval = chunk[0][2]
+            for task, batch in per_task.items():
+                self._put(
+                    task,
+                    TupleBatch(interval=interval, sent_at=oldest, tuples=batch),
+                )
+        return released
+
+    @property
+    def paused_keys(self) -> frozenset:
+        return frozenset(self._paused_keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamRouter(tasks={len(self.worker_queues)}, "
+            f"batch={self.batch_size}, paused={len(self._paused_keys)})"
+        )

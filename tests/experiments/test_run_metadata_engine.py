@@ -1,0 +1,48 @@
+"""Engine/host provenance on stored runs (satellite).
+
+Every run must record which execution engine produced it (fluid simulator vs
+process runtime) and the producing host's CPU count, so stored wall-clock
+numbers are comparable across machines.
+"""
+
+import os
+
+from repro.experiments.specs import ExperimentSpec, RunMetadata, run
+from repro.experiments.store import ResultsStore
+
+
+def _tiny_spec():
+    return ExperimentSpec(
+        "fig07",
+        scale="tiny",
+        overrides={"num_keys": 200, "tuples_per_interval": 2_000, "intervals": 2},
+        params={"task_counts": [4], "key_domains": [200]},
+    )
+
+
+class TestEngineMetadata:
+    def test_fluid_runs_are_tagged(self):
+        outcome = run(_tiny_spec())
+        assert outcome.metadata.engine == "fluid"
+        assert outcome.metadata.host_cpu_count == os.cpu_count()
+
+    def test_round_trips_through_the_store(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        outcome = run(_tiny_spec(), store=store)
+        loaded = store.load(outcome.metadata.run_id)
+        assert loaded.metadata.engine == "fluid"
+        assert loaded.metadata.host_cpu_count == outcome.metadata.host_cpu_count
+
+    def test_legacy_payloads_without_engine_default_to_fluid(self):
+        legacy = {
+            "run_id": "r",
+            "experiment": "fig07",
+            "figure": "fig07",
+            "scale": "tiny",
+            "seed": 0,
+            "wall_time_seconds": 1.0,
+            "created_at": "2026-01-01T00:00:00+00:00",
+        }
+        metadata = RunMetadata.from_dict(legacy)
+        assert metadata.engine == "fluid"
+        assert metadata.host_cpu_count is None

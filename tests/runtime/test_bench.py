@@ -1,0 +1,189 @@
+"""RuntimeSpec serialisation, run_bench persistence and the `repro bench` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.config import get_scale
+from repro.experiments.store import ResultsStore
+from repro.runtime.bench import (
+    BENCH_DEFAULT_OVERRIDES,
+    BENCH_WORKLOADS,
+    RuntimeSpec,
+    run_bench,
+)
+
+#: A bench configuration small enough for tier-1 (two strategies, ~20k tuples).
+TINY = dict(
+    scale="tiny",
+    overrides={"tuples_per_interval": 5_000, "sim_intervals": 2, "num_keys": 300},
+    parallelism=2,
+    service_time_us=10.0,
+)
+
+
+class TestRuntimeSpec:
+    def test_defaults_apply_the_bench_stream_regime(self):
+        spec = RuntimeSpec()
+        assert spec.overrides["skew"] == BENCH_DEFAULT_OVERRIDES["skew"]
+        assert spec.resolve_scale().skew == BENCH_DEFAULT_OVERRIDES["skew"]
+        assert spec.resolve_scale().fluctuation == BENCH_DEFAULT_OVERRIDES["fluctuation"]
+
+    def test_user_overrides_win_over_bench_defaults(self):
+        spec = RuntimeSpec(overrides={"skew": 0.5})
+        assert spec.resolve_scale().skew == 0.5
+        assert spec.resolve_scale().fluctuation == BENCH_DEFAULT_OVERRIDES["fluctuation"]
+
+    def test_round_trip(self):
+        spec = RuntimeSpec(
+            workload="windowed_aggregate",
+            strategies=["storm", "readj"],
+            parallelism=3,
+            scale="small",
+            overrides={"num_keys": 1234},
+            seed=7,
+            service_time_us=20.0,
+            shed_timeout_seconds=0.5,
+        )
+        assert RuntimeSpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_with_explicit_scale(self):
+        spec = RuntimeSpec(scale=get_scale("tiny"))
+        assert RuntimeSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(KeyError):
+            RuntimeSpec(workload="nope")
+
+    def test_rejects_unknown_strategy_up_front(self):
+        # A typo must fail at spec construction, not after earlier strategies
+        # already ran to completion.
+        with pytest.raises(KeyError, match="bogus"):
+            RuntimeSpec(strategies=["storm", "bogus"])
+
+    def test_rejects_unknown_scale_up_front(self):
+        with pytest.raises(KeyError):
+            RuntimeSpec(scale="huge")
+        with pytest.raises(TypeError):
+            RuntimeSpec(overrides={"not_a_field": 1})
+
+    def test_every_registered_workload_builds_a_stream(self):
+        scale = get_scale("tiny").scaled(
+            num_keys=50, tuples_per_interval=200, sim_intervals=2
+        )
+        for name, builder in BENCH_WORKLOADS.items():
+            logic, stream = builder(scale, 2, seed=0)
+            assert len(stream) == 2, name
+            assert all(len(interval) > 0 for interval in stream), name
+            key, _ = stream[0][0]
+            assert logic.tuple_cost(key) > 0
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def outcome(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("bench")
+        spec = RuntimeSpec(workload="wordcount", strategies=["storm", "mixed"], **TINY)
+        store = ResultsStore(root / "results")
+        run, results = run_bench(
+            spec, store=store, output_path=root / "BENCH_runtime.json"
+        )
+        return spec, store, run, results, root
+
+    def test_rows_carry_measured_numbers(self, outcome):
+        _, _, run, results, _ = outcome
+        assert [row["strategy"] for row in run.result.rows] == ["storm", "mixed"]
+        for row in run.result.rows:
+            assert row["tuples"] == 10_000
+            assert row["tuples_per_second"] > 0
+            assert row["latency_p99_ms"] >= row["latency_p50_ms"] > 0
+        assert set(results) == {"storm", "mixed"}
+
+    def test_metadata_records_process_engine_and_host(self, outcome):
+        _, _, run, _, _ = outcome
+        assert run.metadata.engine == "process"
+        assert run.metadata.host_cpu_count >= 1
+        assert run.metadata.figure == "bench"
+
+    def test_persisted_run_reloads_with_artifacts(self, outcome):
+        spec, store, run, _, _ = outcome
+        loaded = store.load(run.metadata.run_id)
+        assert loaded.metadata.engine == "process"
+        assert RuntimeSpec.from_dict(loaded.spec.params["runtime_spec"]) == spec
+        names = store.artifact_names(run.metadata.run_id)
+        assert "mixed.latency" in names and "storm.metrics" in names
+        histogram = store.load_artifact(run.metadata.run_id, "mixed.latency")
+        assert histogram.total == 10_000
+
+    def test_bench_report_file(self, outcome):
+        _, _, run, _, root = outcome
+        payload = json.loads((root / "BENCH_runtime.json").read_text())
+        assert payload["metadata"]["engine"] == "process"
+        assert payload["spec"]["workload"] == "wordcount"
+        assert len(payload["rows"]) == 2
+        assert set(payload["per_strategy"]) == {"storm", "mixed"}
+
+
+class TestBenchCli:
+    def test_bench_command_end_to_end(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "bench",
+                "wordcount",
+                "--parallelism",
+                "2",
+                "--scale",
+                "tiny",
+                "--set",
+                "tuples_per_interval=3000",
+                "--set",
+                "sim_intervals=2",
+                "--set",
+                "num_keys=200",
+                "--service-time-us",
+                "10",
+                "--strategies",
+                "storm",
+                "--results-dir",
+                str(tmp_path / "results"),
+                "--output",
+                str(tmp_path / "BENCH_runtime.json"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tuples/s" in out
+        assert "engine=process" in out
+        assert (tmp_path / "BENCH_runtime.json").is_file()
+        store = ResultsStore(tmp_path / "results")
+        assert len(store) == 1
+        assert store.list_runs()[0].engine == "process"
+
+    def test_bench_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "nope"])
+
+    def test_bench_rejects_unknown_strategy_before_running(self):
+        with pytest.raises(SystemExit, match="bogus"):
+            main(["bench", "wordcount", "--strategies", "storm,bogus"])
+
+    def test_stored_bench_run_is_rerunnable(self, tmp_path, capsys):
+        spec = RuntimeSpec(workload="wordcount", strategies=["storm"], **TINY)
+        store = ResultsStore(tmp_path / "results")
+        run, _ = run_bench(spec, store=store, output_path=None)
+        run_json = tmp_path / "results" / run.metadata.run_id / "run.json"
+        assert run_json.is_file()
+        code = main(
+            [
+                "run",
+                str(run_json),
+                "--results-dir",
+                str(tmp_path / "results"),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        assert "engine=process" in capsys.readouterr().out
+        assert len(store) == 2  # the original bench run plus the re-run

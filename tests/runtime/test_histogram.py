@@ -1,0 +1,86 @@
+"""Unit tests of the mergeable latency histogram."""
+
+import pytest
+
+from repro.runtime.histogram import LatencyHistogram
+
+
+class TestRecording:
+    def test_empty_histogram_reports_zero(self):
+        histogram = LatencyHistogram()
+        assert len(histogram) == 0
+        assert histogram.p50_us == 0.0
+        assert histogram.p99_us == 0.0
+        assert histogram.mean_us == 0.0
+
+    def test_counts_and_mean(self):
+        histogram = LatencyHistogram()
+        histogram.record(100.0, count=3)
+        histogram.record(200.0)
+        assert histogram.total == 4
+        assert histogram.mean_us == pytest.approx((3 * 100 + 200) / 4)
+        assert histogram.max_us == 200.0
+
+    def test_negative_and_zero_counts_are_ignored(self):
+        histogram = LatencyHistogram()
+        histogram.record(100.0, count=0)
+        histogram.record(100.0, count=-5)
+        assert histogram.total == 0
+
+    def test_negative_latency_clamps_to_zero(self):
+        histogram = LatencyHistogram()
+        histogram.record(-5.0)
+        assert histogram.total == 1
+        assert histogram.p50_us <= 2.0  # lands in the first bucket
+
+
+class TestQuantiles:
+    def test_quantile_bounds_relative_error(self):
+        histogram = LatencyHistogram()
+        for value in (50.0, 100.0, 150.0, 1000.0):
+            histogram.record(value, count=25)
+        p50 = histogram.quantile(0.5)
+        # Bucketed estimate: within one growth factor of the true median (100).
+        assert 100.0 <= p50 <= 100.0 * 1.25 * 1.25
+        p99 = histogram.quantile(0.99)
+        assert 1000.0 * 0.8 <= p99 <= 1000.0 * 1.25
+
+    def test_quantile_never_exceeds_max(self):
+        histogram = LatencyHistogram()
+        histogram.record(777.0, count=10)
+        assert histogram.quantile(1.0) <= 777.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().quantile(1.5)
+
+
+class TestMergeAndPersistence:
+    def test_merge_adds_counts(self):
+        left = LatencyHistogram()
+        right = LatencyHistogram()
+        left.record(100.0, count=10)
+        right.record(10_000.0, count=10)
+        left.merge(right)
+        assert left.total == 20
+        assert left.max_us == 10_000.0
+        assert left.quantile(0.9) >= 10_000.0 * 0.8
+
+    def test_round_trip(self):
+        histogram = LatencyHistogram()
+        for value in (3.0, 47.0, 9_000.0):
+            histogram.record(value, count=7)
+        clone = LatencyHistogram.from_dict(histogram.to_dict())
+        assert clone.counts == histogram.counts
+        assert clone.total == histogram.total
+        assert clone.sum_us == histogram.sum_us
+        assert clone.max_us == histogram.max_us
+        assert clone.p99_us == histogram.p99_us
+
+    def test_summary_ms_units(self):
+        histogram = LatencyHistogram()
+        histogram.record(2_000.0, count=100)  # 2 ms
+        summary = histogram.summary_ms()
+        assert summary["samples"] == 100.0
+        assert 1.5 <= summary["latency_p50_ms"] <= 3.2
+        assert summary["latency_mean_ms"] == pytest.approx(2.0)

@@ -1,0 +1,130 @@
+"""End-to-end tests of the multi-process LocalRuntime (small streams)."""
+
+import pytest
+
+from repro.baselines.hash_only import HashPartitioner
+from repro.operators.wordcount import WordCountOperator
+from repro.runtime.local import LocalRuntime, RuntimeConfig
+
+
+def _stream(intervals=2, keys=40, repeats=25):
+    """Deterministic stream: every key appears ``repeats`` times per interval."""
+    return [
+        [(key, None) for key in range(keys) for _ in range(repeats)]
+        for _ in range(intervals)
+    ]
+
+
+def _run(stream, parallelism=2, **config):
+    defaults = dict(
+        parallelism=parallelism,
+        batch_size=64,
+        queue_capacity=4,
+        service_time_us=5.0,
+    )
+    defaults.update(config)
+    runtime = LocalRuntime(
+        WordCountOperator(emit_updates=False),
+        HashPartitioner(parallelism, seed=0),
+        RuntimeConfig(**defaults),
+        label="hash",
+    )
+    return runtime.run(stream)
+
+
+class TestConservation:
+    def test_every_offered_tuple_is_processed(self):
+        stream = _stream(intervals=2, keys=40, repeats=25)
+        total = sum(len(interval) for interval in stream)
+        result = _run(stream)
+        assert result.tuples_offered == total
+        assert result.tuples_processed == total
+        assert result.tuples_shed == 0
+        assert result.latency.total == total
+
+    def test_per_interval_reports_sum_to_total(self):
+        stream = _stream(intervals=3, keys=30, repeats=20)
+        result = _run(stream)
+        processed = result.metrics.series("processed_tuples")
+        assert len(processed) == 3
+        assert sum(processed) == result.tuples_processed
+        # FIFO markers make the per-interval accounting exact.
+        assert all(count == len(stream[0]) for count in processed)
+
+    def test_worker_counts_match_dispatch(self):
+        result = _run(_stream())
+        per_worker = {
+            worker_id: report.processed
+            for worker_id, report in result.final_reports.items()
+        }
+        assert sum(per_worker.values()) == result.tuples_processed
+        assert set(per_worker) == {0, 1}
+
+
+class TestMeasurements:
+    def test_throughput_and_latency_are_positive(self):
+        result = _run(_stream())
+        assert result.wall_seconds > 0
+        assert result.tuples_per_second > 0
+        assert result.latency.p50_us > 0
+        assert result.latency.p99_us >= result.latency.p50_us
+        summary = result.summary()
+        assert summary["tuples_per_second"] == pytest.approx(
+            result.tuples_per_second
+        )
+        assert summary["latency_p99_ms"] >= summary["latency_p50_ms"]
+
+    def test_metrics_records_per_task_load(self):
+        result = _run(_stream())
+        for record in result.metrics:
+            assert set(record.per_task_load) == {0, 1}
+            assert sum(record.per_task_load.values()) == pytest.approx(
+                record.offered_tuples
+            )
+            assert record.num_tasks == 2
+            assert record.skewness >= 1.0
+
+    def test_final_state_collection(self):
+        result = _run(_stream(intervals=1, keys=10, repeats=5), collect_final_state=True)
+        # Word count keeps one counter per key; every key appeared 5 times.
+        assert sum(payload[-1] for payload in result.final_state.values()) == 50
+        assert set(result.final_state) == set(range(10))
+
+
+class TestShedding:
+    def test_overload_with_shed_timeout_drops_and_records(self):
+        # One slow worker (1 ms/tuple), tiny queues, and a dispatch timeout:
+        # the router must shed batches and charge them to the task.
+        stream = _stream(intervals=1, keys=30, repeats=40)
+        result = _run(
+            stream,
+            batch_size=32,
+            queue_capacity=1,
+            service_time_us=1000.0,
+            shed_timeout_seconds=0.002,
+        )
+        assert result.tuples_shed > 0
+        assert result.tuples_processed == result.tuples_offered - result.tuples_shed
+        assert result.shed_by_task
+        assert sum(result.shed_by_task.values()) == pytest.approx(result.tuples_shed)
+        # The shed totals are observable per interval in the metrics too.
+        assert result.metrics.total_shed_tuples == pytest.approx(result.tuples_shed)
+        assert result.metrics.shed_by_task() == result.shed_by_task
+
+
+class TestValidation:
+    def test_parallelism_must_match_partitioner(self):
+        with pytest.raises(ValueError):
+            LocalRuntime(
+                WordCountOperator(),
+                HashPartitioner(3),
+                RuntimeConfig(parallelism=2),
+            )
+
+    def test_config_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(parallelism=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(service_time_us=-1.0)
