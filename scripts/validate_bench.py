@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validate the schema of a BENCH_runtime.json benchmark report.
+
+CI runs this against the report produced by the bench-trajectory job before
+uploading it as the per-commit artifact, so a refactor that silently drops
+measured throughput/latency keys (or writes empty rows) fails the build
+instead of poisoning the benchmark trajectory.
+
+Usage::
+
+    python scripts/validate_bench.py BENCH_runtime.json
+
+Standalone on purpose: no repro import, so it also validates reports from
+older commits when comparing trajectory artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+#: Every bench row (single-stage, per-stage and chain rows alike) must carry
+#: these measured quantities.
+REQUIRED_ROW_KEYS = (
+    "strategy",
+    "tuples",
+    "wall_seconds",
+    "tuples_per_second",
+    "latency_p50_ms",
+    "latency_p99_ms",
+)
+
+REQUIRED_METADATA_KEYS = ("run_id", "engine", "created_at", "git_rev")
+
+
+def _fail(message: str):
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _check_number(row_label: str, key: str, value) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(f"{row_label}: {key} is {value!r}, expected a number")
+    if not math.isfinite(value):
+        _fail(f"{row_label}: {key} is {value!r}, expected a finite number")
+    if value < 0:
+        _fail(f"{row_label}: {key} is negative ({value!r})")
+
+
+def validate_report(payload: dict) -> int:
+    """Validate one parsed report; returns the number of rows checked."""
+    if not isinstance(payload, dict):
+        _fail("report root must be a JSON object")
+
+    metadata = payload.get("metadata")
+    if not isinstance(metadata, dict):
+        _fail("missing 'metadata' object")
+    for key in REQUIRED_METADATA_KEYS:
+        if key not in metadata:
+            _fail(f"metadata is missing {key!r}")
+    if metadata.get("engine") != "process":
+        _fail(f"metadata.engine is {metadata.get('engine')!r}, expected 'process'")
+
+    spec = payload.get("spec")
+    if not isinstance(spec, dict) or "workload" not in spec:
+        _fail("missing 'spec' object with a 'workload'")
+
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        _fail("missing or empty 'rows' list")
+    for index, row in enumerate(rows):
+        label = f"rows[{index}]"
+        if not isinstance(row, dict):
+            _fail(f"{label} is not an object")
+        for key in REQUIRED_ROW_KEYS:
+            if key not in row:
+                _fail(f"{label} ({row.get('strategy')!r}) is missing {key!r}")
+        for key in REQUIRED_ROW_KEYS[1:]:
+            _check_number(label, key, row[key])
+        if row["tuples"] <= 0 or row["tuples_per_second"] <= 0:
+            _fail(f"{label}: no measured work (tuples={row['tuples']!r})")
+        if row["latency_p99_ms"] < row["latency_p50_ms"]:
+            _fail(f"{label}: p99 < p50 ({row['latency_p99_ms']} < {row['latency_p50_ms']})")
+
+    per_strategy = payload.get("per_strategy")
+    if not isinstance(per_strategy, dict) or not per_strategy:
+        _fail("missing or empty 'per_strategy' object")
+    strategies = {row["strategy"] for row in rows}
+    if set(per_strategy) != strategies:
+        _fail(
+            f"per_strategy keys {sorted(per_strategy)} do not match row "
+            f"strategies {sorted(strategies)}"
+        )
+    return len(rows)
+
+
+def main(argv) -> int:
+    if len(argv) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    if not path.is_file():
+        _fail(f"no such report: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        _fail(f"{path} is not valid JSON: {exc}")
+    rows = validate_report(payload)
+    workload = payload["spec"].get("workload")
+    print(f"OK: {path} — {rows} measured rows ({workload}), schema valid")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

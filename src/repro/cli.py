@@ -6,6 +6,7 @@ Commands::
     python -m repro run myspec.json --seed 3          # run a JSON spec file
     python -m repro run all --scale tiny              # every registered figure
     python -m repro bench wordcount --parallelism 4   # wall-clock process bench
+    python -m repro bench tpch_q5_chain --parallelism 2  # 3-stage Q5 topology
     python -m repro list                              # experiments + strategies
     python -m repro list --runs                       # stored runs
     python -m repro report                            # render the latest run
@@ -49,6 +50,59 @@ def _parse_assignments(pairs: Sequence[str], flag: str) -> Dict[str, Any]:
             raise SystemExit(f"{flag} expects KEY=VALUE, got {pair!r}")
         values[key] = _parse_value(value)
     return values
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (e.g. ``--parallelism``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _service_time(text: str) -> Any:
+    """argparse type: microseconds, or ``auto`` for adaptive calibration."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected microseconds or 'auto', got {text!r}"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"service time must be non-negative, got {value}"
+        )
+    return value
+
+
+def _parse_stage_parallelism(pairs: Sequence[str]) -> Dict[str, int]:
+    """``--stage-parallelism NAME=COUNT`` pairs into a validated mapping."""
+    stages: Dict[str, int] = {}
+    for pair in pairs:
+        stage, separator, count = pair.partition("=")
+        if not separator or not stage:
+            raise SystemExit(
+                f"--stage-parallelism expects STAGE=COUNT, got {pair!r}"
+            )
+        try:
+            workers = int(count)
+        except ValueError:
+            raise SystemExit(
+                f"--stage-parallelism {stage}: expected an integer worker "
+                f"count, got {count!r}"
+            )
+        if workers <= 0:
+            raise SystemExit(
+                f"--stage-parallelism {stage}: worker count must be positive, "
+                f"got {workers}"
+            )
+        stages[stage] = workers
+    return stages
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,10 +158,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     benchp.add_argument(
         "workload",
-        help="bench workload (wordcount | windowed_aggregate | tpch_q5)",
+        help=(
+            "bench workload (wordcount | windowed_aggregate | tpch_q5 | "
+            "tpch_q5_chain | tpch_q5_trace; the last two run the multi-stage "
+            "Q5 process topology)"
+        ),
     )
     benchp.add_argument(
-        "--parallelism", type=int, default=4, help="worker processes (default 4)"
+        "--parallelism",
+        type=_positive_int,
+        default=4,
+        help="worker processes per stage (default 4)",
+    )
+    benchp.add_argument(
+        "--stage-parallelism",
+        dest="stage_parallelism",
+        action="append",
+        default=[],
+        metavar="STAGE=COUNT",
+        help=(
+            "per-stage worker count override (repeatable; topology workloads "
+            "only), e.g. --stage-parallelism order-join=4"
+        ),
     )
     benchp.add_argument(
         "--scale", default="tiny", help="scale preset (tiny|small|paper, default tiny)"
@@ -128,9 +200,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     benchp.add_argument(
         "--service-time-us",
-        type=float,
+        type=_service_time,
         default=50.0,
-        help="emulated per-cost-unit service time of each worker (default 50)",
+        help=(
+            "emulated per-cost-unit service time of each worker (default 50), "
+            "or 'auto' to calibrate it from the first measured interval"
+        ),
+    )
+    benchp.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="TUPLES_PER_S",
+        help=(
+            "open-loop source rate in tuples/second "
+            "(default: closed-loop drain at saturation)"
+        ),
     )
     benchp.add_argument(
         "--batch-size", type=int, default=256, help="tuples per micro-batch"
@@ -313,6 +398,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if args.strategies is not None
         else list(DEFAULT_STRATEGIES)
     )
+    calibrate = args.service_time_us == "auto"
     try:
         spec = RuntimeSpec(
             workload=args.workload,
@@ -321,7 +407,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             scale=args.scale,
             overrides=_parse_assignments(args.overrides, "--set"),
             seed=args.seed,
-            service_time_us=args.service_time_us,
+            service_time_us=50.0 if calibrate else args.service_time_us,
+            calibrate_pacing=calibrate,
+            offered_rate=args.rate,
+            stage_parallelism=_parse_stage_parallelism(args.stage_parallelism),
             batch_size=args.batch_size,
             queue_capacity=args.queue_capacity,
             shed_timeout_seconds=args.shed_timeout,

@@ -26,6 +26,11 @@ class IntervalMetrics:
     shed_tuples: float = 0.0
     throughput: float = 0.0  # tuples per second
     latency_ms: float = 0.0  # processed-weighted average
+    #: Measured latency percentiles of the interval, from the per-interval
+    #: histogram deltas the process runtime's workers ship (0.0 in fluid
+    #: simulations, which model the mean only).
+    latency_p50_ms: float = 0.0
+    latency_p99_ms: float = 0.0
     skewness: float = 0.0  # max task load / average task load
     max_theta: float = 0.0  # max |L(d) - L̄| / L̄
     backlog: float = 0.0

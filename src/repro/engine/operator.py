@@ -171,15 +171,24 @@ class Task:
         """True when tuples were measured since the last :meth:`end_interval`."""
         return self._interval_stats is not None
 
-    def end_interval(self) -> IntervalStats:
-        """Close the current interval and return its measurements (step 1)."""
+    def end_interval(self, interval: Optional[int] = None) -> IntervalStats:
+        """Close the current interval and return its measurements (step 1).
+
+        ``interval`` overrides the expiry horizon (default: the interval the
+        measurement opened on).  The process runtime passes the marker's
+        interval explicitly: in a pipelined topology the task may already
+        have processed tuples of a later interval from a fast upstream
+        producer, and expiring at that watermark would drop window state one
+        interval early.
+        """
         if self._interval_stats is None:
             raise RuntimeError("end_interval called before begin_interval")
         stats = self._interval_stats
         self._interval_stats = None
-        if self.logic.stateful and self._current_interval is not None:
+        horizon = interval if interval is not None else self._current_interval
+        if self.logic.stateful and horizon is not None:
             before = self.state.total_size()
-            self.state.expire(self._current_interval)
+            self.state.expire(horizon)
             self.metrics.state_evicted += before - self.state.total_size()
         return stats
 

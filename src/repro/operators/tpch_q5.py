@@ -32,7 +32,13 @@ from repro.operators.windowed_aggregate import WindowedAggregate
 from repro.operators.windowed_join import WindowedJoin
 from repro.workloads.tpch import TPCHDataset
 
-__all__ = ["Q5Stage", "DimensionJoin", "build_q5_topology"]
+__all__ = [
+    "Q5Stage",
+    "DimensionJoin",
+    "build_q5_topology",
+    "q5_revenue_of",
+    "q5_revenue_reducer",
+]
 
 Key = Hashable
 
@@ -92,6 +98,25 @@ class DimensionJoin(WindowedJoin):
         return [
             StreamTuple(key=tup.key, value=enriched, interval=tup.interval, stream="joined")
         ]
+
+
+def q5_revenue_of(value: Any) -> float:
+    """The revenue carried by a Q5 chain tuple, whatever stage it left.
+
+    Each :class:`DimensionJoin` wraps the incoming value as ``(value,
+    dimension_attribute)``, so after the two joins the lineitem's revenue
+    (``extendedprice × (1 − discount)``) is the innermost element.  Module
+    level (not a lambda/closure) so the revenue-aggregation stage pickles
+    under any multiprocessing start method.
+    """
+    while isinstance(value, tuple):
+        value = value[0]
+    return float(value) if value is not None else 0.0
+
+
+def q5_revenue_reducer(accumulator: Any, value: Any) -> float:
+    """Reducer for the revenue-agg stage: per-nation revenue of the window."""
+    return (accumulator or 0.0) + q5_revenue_of(value)
 
 
 def build_q5_topology(

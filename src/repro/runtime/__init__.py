@@ -1,28 +1,35 @@
 """Process-parallel streaming runtime.
 
 Where :mod:`repro.engine.simulator` *models* an interval as a fluid
-single-server queue, this package *executes* it: a :class:`LocalRuntime`
-spawns N worker processes (``multiprocessing``), each hosting one
-:class:`~repro.engine.operator.Task` instance of the operator under study,
-fed through bounded queues (natural backpressure: the dispatcher blocks when
-the slowest worker's queue is full, exactly Storm's backpushing effect).  A
-:class:`~repro.runtime.router.StreamRouter` dispatches micro-batches using the
+single-server queue, this package *executes* it as a dataflow **topology**: a
+:class:`TopologySpec` chains stages, each stage owning a group of worker
+processes (one :class:`~repro.engine.operator.Task` instance per process), a
+:class:`~repro.runtime.router.StreamRouter` dispatching micro-batches via the
 strategy registry's :meth:`~repro.baselines.base.Partitioner.assign_batch`
-fast path; a :class:`~repro.runtime.controller.RuntimeController` runs the
-paper's rebalancing planner online at interval boundaries and drives **live
-key migration** between workers (pause-key → ship
-:class:`~repro.engine.state.KeyedState` → resume), measuring the real
-wall-clock pause.  Per-worker throughput counters and latency histograms are
-aggregated into :class:`~repro.engine.metrics.MetricsCollector`-compatible
-results, so fluid and process runs are directly comparable.
+fast path, and a :class:`~repro.runtime.controller.RuntimeController` running
+the paper's rebalancing planner online at interval boundaries with **live key
+migration** (pause-key → ship :class:`~repro.engine.state.KeyedState` →
+resume, the real wall-clock pause measured).  Every queue — worker inbound
+and inter-stage egress — is bounded, so backpressure chains upstream exactly
+as Storm's backpushing does, reproducing the paper's Fig. 16 chained
+starvation on real processes.  A separate source process offers tuples
+closed-loop (saturated drain) or open-loop at a fixed rate
+(:mod:`repro.runtime.source`), making latency below saturation measurable.
+:class:`LocalRuntime` is the one-stage special case.
 
-Workers emulate a fixed per-task service capacity (``service_time_us`` per
-cost unit, enforced by pacing), mirroring the paper's saturated-CPU setup:
-measured throughput then degrades with workload imbalance even when the host
-has fewer cores than workers, because paced (sleeping) workers overlap.
+Per-worker throughput counters and latency histograms (lifetime plus
+per-interval deltas) aggregate into
+:class:`~repro.engine.metrics.MetricsCollector`-compatible results, so fluid
+and process runs are directly comparable.  Workers emulate a fixed per-task
+service capacity (``service_time_us`` per cost unit, enforced by pacing —
+optionally calibrated from the first measured interval), mirroring the
+paper's saturated-CPU setup: measured throughput then degrades with workload
+imbalance even when the host has fewer cores than workers, because paced
+(sleeping) workers overlap.
 """
 
 from repro.runtime.bench import (
+    BENCH_TOPOLOGY_WORKLOADS,
     BENCH_WORKLOADS,
     RuntimeSpec,
     run_bench,
@@ -32,8 +39,15 @@ from repro.runtime.controller import LiveMigrationReport, RuntimeController
 from repro.runtime.histogram import LatencyHistogram
 from repro.runtime.local import LocalRuntime, RuntimeConfig, RuntimeResult
 from repro.runtime.router import StreamRouter
+from repro.runtime.topology import (
+    StageSpec,
+    TopologyResult,
+    TopologyRuntime,
+    TopologySpec,
+)
 
 __all__ = [
+    "BENCH_TOPOLOGY_WORKLOADS",
     "BENCH_WORKLOADS",
     "LatencyHistogram",
     "LiveMigrationReport",
@@ -42,7 +56,11 @@ __all__ = [
     "RuntimeController",
     "RuntimeResult",
     "RuntimeSpec",
+    "StageSpec",
     "StreamRouter",
+    "TopologyResult",
+    "TopologyRuntime",
+    "TopologySpec",
     "run_bench",
     "write_bench_report",
 ]

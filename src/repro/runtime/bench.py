@@ -1,25 +1,36 @@
 """Wall-clock benchmarking of partitioning strategies on the process runtime.
 
 A :class:`RuntimeSpec` is the runtime twin of
-:class:`~repro.experiments.specs.ExperimentSpec`: it picks a workload
-(``wordcount`` / ``windowed_aggregate`` / ``tpch_q5``), a strategy list, a
-parallelism and a scale preset, and :func:`run_bench` executes each strategy
-on the *same* materialised tuple stream through a
-:class:`~repro.runtime.local.LocalRuntime`.  The outcome is an
-:class:`~repro.experiments.specs.ExperimentRun` whose rows carry **measured**
-tuples/sec and p50/p99 latency per strategy (``engine: "process"`` in the
-metadata), persisted through the ordinary
+:class:`~repro.experiments.specs.ExperimentSpec`: it picks a workload, a
+strategy list, a parallelism and a scale preset, and :func:`run_bench`
+executes each strategy on the *same* materialised tuple stream.  The outcome
+is an :class:`~repro.experiments.specs.ExperimentRun` whose rows carry
+**measured** tuples/sec and p50/p99 latency per strategy (``engine:
+"process"`` in the metadata), persisted through the ordinary
 :class:`~repro.experiments.store.ResultsStore` plus a standalone
 ``BENCH_runtime.json`` report for the benchmark trajectory.
 
-The workloads are streamed at the interval snapshots of the repo's existing
-generators (Zipf / social-style wordcount, the TPC-H Q5 stage-1 lineitem
-stream keyed by order key) expanded into shuffled per-interval tuple lists.
+Two workload families:
+
+* **Single-stage** (:data:`BENCH_WORKLOADS`: ``wordcount`` /
+  ``windowed_aggregate`` / ``tpch_q5``) run one operator behind one router
+  through a :class:`~repro.runtime.local.LocalRuntime` — the repo's
+  snapshot generators expanded into shuffled per-interval tuple lists.
+* **Multi-stage topologies** (:data:`BENCH_TOPOLOGY_WORKLOADS`:
+  ``tpch_q5_chain`` / ``tpch_q5_trace``) run the full continuous Q5 chain —
+  order-join → customer-join → revenue-agg — as a
+  :class:`~repro.runtime.topology.TopologyRuntime` process pipeline with
+  bounded inter-stage queues, per-stage rebalancing controllers and one
+  open-loop source, reproducing the paper's Fig. 16 chained-starvation
+  experiment on measured wall clock.  ``tpch_q5_chain`` streams synthetic
+  Zipf-skewed arrivals; ``tpch_q5_trace`` replays the generated lineitem
+  table (:class:`~repro.workloads.tpch.TPCHLineitemTrace`).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 import json
 import os
 import time
@@ -41,18 +52,40 @@ from typing import (
 
 import numpy as np
 
+from repro.baselines.base import Partitioner
 from repro.core.strategy import get_strategy, has_strategy, strategy_names
 from repro.engine.operator import OperatorLogic
 from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.specs import ExperimentRun, ExperimentSpec, RunMetadata, git_revision
+from repro.operators.tpch_q5 import DimensionJoin, q5_revenue_reducer
 from repro.operators.windowed_aggregate import WindowedAggregate
 from repro.operators.wordcount import WordCountOperator
 from repro.runtime.local import LocalRuntime, RuntimeConfig, RuntimeResult
-from repro.workloads.tpch import TPCHStreamWorkload, generate_tpch
+from repro.runtime.topology import (
+    StageSpec,
+    TopologyResult,
+    TopologyRuntime,
+    TopologySpec,
+)
+from repro.workloads.tpch import (
+    ForeignKeyLookup,
+    TPCHDataset,
+    draw_lineitem_revenue,
+    TPCHLineitemTrace,
+    TPCHStreamWorkload,
+    generate_tpch,
+)
 from repro.workloads.zipf import ZipfWorkload
 
-__all__ = ["BENCH_WORKLOADS", "RuntimeSpec", "run_bench", "write_bench_report"]
+__all__ = [
+    "BENCH_WORKLOADS",
+    "BENCH_TOPOLOGY_WORKLOADS",
+    "TopologyBenchWorkload",
+    "RuntimeSpec",
+    "run_bench",
+    "write_bench_report",
+]
 
 Key = Hashable
 
@@ -70,7 +103,7 @@ DEFAULT_STRATEGIES = ("storm", "mixed")
 #: slow-drift* regime of the paper's real datasets ("the word frequency in
 #: Social data usually changes slowly"), where rebalancing visibly pays;
 #: ``--set skew=…`` / ``--set fluctuation=…`` restore any other regime.
-BENCH_DEFAULT_OVERRIDES: Mapping[str, Any] = {"skew": 1.1, "fluctuation": 0.2}
+BENCH_DEFAULT_OVERRIDES: Mapping[str, Any] = {"skew": 1.2, "fluctuation": 0.2}
 
 
 @dataclass(frozen=True)
@@ -81,11 +114,18 @@ class RuntimeSpec:
     ----------
     workload:
         One of :data:`BENCH_WORKLOADS` (``wordcount``, ``windowed_aggregate``,
-        ``tpch_q5``).
+        ``tpch_q5``) or :data:`BENCH_TOPOLOGY_WORKLOADS` (``tpch_q5_chain``,
+        ``tpch_q5_trace``).
     strategies:
-        Strategy labels from the registry, each run on the same stream.
+        Strategy labels from the registry, each run on the same stream.  In
+        a topology workload the strategy under test routes the join stages
+        (the operators under study); the small revenue aggregation keeps
+        plain hashing.
     parallelism:
-        Worker processes (= operator task instances).
+        Worker processes per stage (= operator task instances).
+    stage_parallelism:
+        Per-stage overrides, ``{stage name: worker count}`` (topology
+        workloads only).
     scale:
         Scale preset name or explicit :class:`ExperimentScale`; sets the key
         domain, tuples per interval, interval count and strategy tunables.
@@ -97,8 +137,15 @@ class RuntimeSpec:
         Master RNG seed (stream generation and hash seeds).
     service_time_us:
         Emulated per-cost-unit service time of each worker (pacing).
+    calibrate_pacing:
+        Ignore ``service_time_us`` and calibrate the pacing per stage from
+        the first measured interval, so the bench stays saturated across
+        machines of different speed.
+    offered_rate:
+        Open-loop source rate in tuples/second (``None`` = closed-loop
+        drain, the saturated-throughput setup).
     batch_size / queue_capacity / shed_timeout_seconds:
-        Queueing knobs, see :class:`~repro.runtime.local.RuntimeConfig`.
+        Queueing knobs, see :class:`~repro.runtime.topology.RuntimeConfig`.
     """
 
     workload: str = "wordcount"
@@ -111,15 +158,23 @@ class RuntimeSpec:
     batch_size: int = 256
     queue_capacity: int = 8
     shed_timeout_seconds: Optional[float] = None
+    stage_parallelism: Mapping[str, int] = field(default_factory=dict)
+    calibrate_pacing: bool = False
+    offered_rate: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.workload not in BENCH_WORKLOADS:
+        if (
+            self.workload not in BENCH_WORKLOADS
+            and self.workload not in BENCH_TOPOLOGY_WORKLOADS
+        ):
             raise KeyError(
-                f"unknown bench workload {self.workload!r}; "
-                f"known: {sorted(BENCH_WORKLOADS)}"
+                f"unknown bench workload {self.workload!r}; known: "
+                f"{sorted(BENCH_WORKLOADS) + sorted(BENCH_TOPOLOGY_WORKLOADS)}"
             )
         if self.parallelism <= 0:
             raise ValueError("parallelism must be positive")
+        if self.offered_rate is not None and self.offered_rate <= 0:
+            raise ValueError("offered_rate must be positive (or None)")
         object.__setattr__(self, "strategies", list(self.strategies))
         # Fail fast on typos: a bad strategy or scale must not surface as a
         # crash after earlier strategies already ran for minutes.
@@ -128,6 +183,27 @@ class RuntimeSpec:
                 raise KeyError(
                     f"unknown strategy {name!r}; known: {strategy_names()}"
                 )
+        object.__setattr__(
+            self, "stage_parallelism", dict(self.stage_parallelism)
+        )
+        if self.stage_parallelism:
+            topology = BENCH_TOPOLOGY_WORKLOADS.get(self.workload)
+            if topology is None:
+                raise ValueError(
+                    f"stage_parallelism only applies to topology workloads, "
+                    f"not {self.workload!r}"
+                )
+            for stage, count in self.stage_parallelism.items():
+                if stage not in topology.stages:
+                    raise KeyError(
+                        f"unknown stage {stage!r} for {self.workload!r}; "
+                        f"stages: {list(topology.stages)}"
+                    )
+                if not isinstance(count, int) or count <= 0:
+                    raise ValueError(
+                        f"stage parallelism for {stage!r} must be a positive "
+                        f"integer, got {count!r}"
+                    )
         self.resolve_scale()  # raises on an unknown preset or override field
         object.__setattr__(
             self,
@@ -149,8 +225,13 @@ class RuntimeSpec:
             queue_capacity=self.queue_capacity,
             service_time_us=self.service_time_us,
             shed_timeout_seconds=self.shed_timeout_seconds,
+            calibrate_pacing=self.calibrate_pacing,
+            offered_rate=self.offered_rate,
             **kwargs,
         )
+
+    def is_topology(self) -> bool:
+        return self.workload in BENCH_TOPOLOGY_WORKLOADS
 
     # -- (de)serialisation ---------------------------------------------------------
 
@@ -169,6 +250,9 @@ class RuntimeSpec:
             "batch_size": self.batch_size,
             "queue_capacity": self.queue_capacity,
             "shed_timeout_seconds": self.shed_timeout_seconds,
+            "stage_parallelism": dict(self.stage_parallelism),
+            "calibrate_pacing": self.calibrate_pacing,
+            "offered_rate": self.offered_rate,
         }
         return json.loads(json.dumps(payload))
 
@@ -188,6 +272,14 @@ class RuntimeSpec:
             batch_size=int(payload.get("batch_size", 256)),
             queue_capacity=int(payload.get("queue_capacity", 8)),
             shed_timeout_seconds=payload.get("shed_timeout_seconds"),
+            stage_parallelism={
+                str(stage): int(count)
+                for stage, count in dict(
+                    payload.get("stage_parallelism", {})
+                ).items()
+            },
+            calibrate_pacing=bool(payload.get("calibrate_pacing", False)),
+            offered_rate=payload.get("offered_rate"),
         )
 
 
@@ -198,15 +290,29 @@ def _expand_snapshots(
     snapshots: Sequence[Mapping[Key, float]],
     rng: np.random.Generator,
     value: Any = None,
+    value_fn: Optional[Callable[[np.random.Generator, int], np.ndarray]] = None,
 ) -> List[List[Tuple[Key, Any]]]:
-    """Expand ``{key: count}`` snapshots into shuffled per-interval tuple lists."""
+    """Expand ``{key: count}`` snapshots into shuffled per-interval tuple lists.
+
+    ``value_fn(rng, count)`` samples one value per tuple (e.g. lineitem
+    revenue); without it every tuple carries the constant ``value``.
+    """
     stream: List[List[Tuple[Key, Any]]] = []
     for snapshot in snapshots:
         keys = np.array(list(snapshot.keys()), dtype=object)
         counts = np.array([int(round(count)) for count in snapshot.values()])
         expanded = np.repeat(keys, counts)
         rng.shuffle(expanded)
-        stream.append([(key, value) for key in expanded.tolist()])
+        if value_fn is not None:
+            values = value_fn(rng, expanded.size)
+            stream.append(
+                [
+                    (key, float(sample))
+                    for key, sample in zip(expanded.tolist(), values)
+                ]
+            )
+        else:
+            stream.append([(key, value) for key in expanded.tolist()])
     return stream
 
 
@@ -253,9 +359,7 @@ def _tpch_q5_stream(
     join stage — the stage whose imbalance the Fig. 16 experiment measures;
     the downstream joins are out of scope for the single-stage runtime bench.
     """
-    dataset = generate_tpch(
-        scale=max(0.001, scale.num_keys / 1_500_000), seed=seed
-    )
+    dataset = _q5_dataset(scale, seed)
     workload = TPCHStreamWorkload(
         dataset,
         tuples_per_interval=scale.tuples_per_interval,
@@ -282,12 +386,179 @@ BENCH_WORKLOADS: Dict[
 }
 
 
+# -- multi-stage topology workloads ------------------------------------------------
+
+#: Builds a registry strategy for one stage: ``(strategy name, parallelism)``.
+StrategyBuilder = Callable[[str, int], Partitioner]
+
+#: The three stages of the continuous Q5 chain, in pipeline order.
+Q5_CHAIN_STAGES: Tuple[str, ...] = ("order-join", "customer-join", "revenue-agg")
+
+#: The revenue aggregation re-keys to the 25-nation domain; plain hashing is
+#: the natural choice there (the paper studies the skewed join stages).
+Q5_AGG_STRATEGY = "storm"
+
+
+@dataclass(frozen=True)
+class TopologyBenchWorkload:
+    """A multi-stage bench workload: a stream plus a topology factory.
+
+    ``build_stream(scale, seed)`` materialises the per-interval tuple lists
+    once (shared across all strategies of a bench run);
+    ``build_topology(scale, spec, strategy, build)`` assembles the
+    :class:`~repro.runtime.topology.TopologySpec` with ``strategy`` routing
+    the stages under study (``build`` constructs a registry strategy for a
+    given stage parallelism).
+    """
+
+    stages: Tuple[str, ...]
+    build_stream: Callable[[ExperimentScale, int], List[List[Tuple[Key, Any]]]]
+    build_topology: Callable[
+        [ExperimentScale, "RuntimeSpec", str, StrategyBuilder], TopologySpec
+    ]
+
+
+@functools.lru_cache(maxsize=4)
+def _q5_dataset_cached(tpch_scale: float, seed: int) -> TPCHDataset:
+    return generate_tpch(scale=tpch_scale, seed=seed)
+
+
+def _q5_dataset(scale: ExperimentScale, seed: int) -> TPCHDataset:
+    # Cached: one bench run needs the identical dataset for the stream and
+    # for every strategy's topology (paper scale regenerates ~6M lineitems).
+    return _q5_dataset_cached(max(0.001, scale.num_keys / 1_500_000), seed)
+
+
+def _q5_chain_stream(
+    scale: ExperimentScale, seed: int
+) -> List[List[Tuple[Key, Any]]]:
+    """Synthetic Q5 arrivals: Zipf-skewed order keys carrying revenue values.
+
+    The stream regime mirrors Fig. 16: sustained foreign-key skew with a
+    periodic partial rotation of the hot order set (the "triggered
+    distribution change"), gentle enough that rebalancing pays.
+    """
+    dataset = _q5_dataset(scale, seed)
+    workload = TPCHStreamWorkload(
+        dataset,
+        tuples_per_interval=scale.tuples_per_interval,
+        skew=scale.skew,
+        change_every=max(4, scale.sim_intervals // 2),
+        change_fraction=0.25,
+        intervals=scale.sim_intervals,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed + 1)
+    return _expand_snapshots(
+        workload.take(scale.sim_intervals), rng, value_fn=draw_lineitem_revenue
+    )
+
+
+def _q5_trace_stream(
+    scale: ExperimentScale, seed: int
+) -> List[List[Tuple[Key, Any]]]:
+    """Replayed-trace variant: the generated lineitem rows in arrival order."""
+    dataset = _q5_dataset(scale, seed)
+    trace = TPCHLineitemTrace(
+        dataset,
+        tuples_per_interval=scale.tuples_per_interval,
+        intervals=scale.sim_intervals,
+    )
+    return trace.take()
+
+
+def _q5_chain_topology(
+    scale: ExperimentScale,
+    spec: "RuntimeSpec",
+    strategy: str,
+    build: StrategyBuilder,
+) -> TopologySpec:
+    """Assemble order-join → customer-join → revenue-agg for the runtime.
+
+    The two join stages get the strategy under test (they carry the
+    foreign-key skew); the revenue aggregation keeps plain hashing over its
+    25-nation key domain.  Output re-keying between stages uses the
+    dataset's foreign-key mappings, as the fluid
+    :func:`~repro.operators.tpch_q5.build_q5_topology` does.
+    """
+    dataset = _q5_dataset(scale, spec.seed)
+    # Slim, picklable lookups: workers need the foreign-key dicts, not the
+    # whole dataset (bound methods would drag the lineitem table along).
+    customer_of_order = ForeignKeyLookup(
+        dataset.order_customer, dataset.num_customers
+    )
+    nation_of_customer = ForeignKeyLookup(dataset.customer_nation, 25)
+    overrides = spec.stage_parallelism
+    order_p = overrides.get("order-join", spec.parallelism)
+    customer_p = overrides.get("customer-join", spec.parallelism)
+    agg_p = overrides.get("revenue-agg", max(1, min(spec.parallelism, 5)))
+    # Per-tuple costs make the customer-join the service bottleneck: the
+    # order→customer re-keying compounds the foreign-key Zipf skew (many hot
+    # orders map to few hot customers), so that stage carries the strongest
+    # sustained imbalance — the chain's wall clock is then driven by the
+    # stage whose imbalance the experiment studies, its starvation
+    # propagating both upstream (backpressure) and downstream (staleness).
+    stages = [
+        StageSpec(
+            name="order-join",
+            logic=DimensionJoin(
+                lookup=customer_of_order,
+                window=scale.window,
+                cost_per_tuple=0.75,
+            ),
+            partitioner=build(strategy, order_p),
+            key_mapper=customer_of_order,
+        ),
+        StageSpec(
+            name="customer-join",
+            logic=DimensionJoin(
+                lookup=nation_of_customer,
+                window=scale.window,
+                cost_per_tuple=1.5,
+            ),
+            partitioner=build(strategy, customer_p),
+            key_mapper=nation_of_customer,
+        ),
+        StageSpec(
+            name="revenue-agg",
+            logic=WindowedAggregate(
+                reducer=q5_revenue_reducer,
+                window=scale.window,
+                cost_per_tuple=0.25,
+                state_per_tuple=0.1,
+            ),
+            partitioner=build(Q5_AGG_STRATEGY, agg_p),
+        ),
+    ]
+    return TopologySpec("tpch-q5-chain", stages)
+
+
+#: Multi-stage bench workloads, run through :class:`TopologyRuntime`.
+BENCH_TOPOLOGY_WORKLOADS: Dict[str, TopologyBenchWorkload] = {
+    "tpch_q5_chain": TopologyBenchWorkload(
+        stages=Q5_CHAIN_STAGES,
+        build_stream=_q5_chain_stream,
+        build_topology=_q5_chain_topology,
+    ),
+    "tpch_q5_trace": TopologyBenchWorkload(
+        stages=Q5_CHAIN_STAGES,
+        build_stream=_q5_trace_stream,
+        build_topology=_q5_chain_topology,
+    ),
+}
+
+
 # -- the bench runner --------------------------------------------------------------
 
 
-def _build_strategy(name: str, spec: RuntimeSpec, scale: ExperimentScale):
+def _build_strategy(
+    name: str,
+    spec: RuntimeSpec,
+    scale: ExperimentScale,
+    parallelism: Optional[int] = None,
+):
     return get_strategy(name).build(
-        spec.parallelism,
+        spec.parallelism if parallelism is None else parallelism,
         theta_max=scale.theta_max,
         max_table_size=scale.max_table_size,
         beta=scale.beta,
@@ -303,34 +574,71 @@ def _result_row(name: str, outcome: RuntimeResult) -> Dict[str, Any]:
     return row
 
 
+def _topology_rows(name: str, outcome: TopologyResult) -> List[Dict[str, Any]]:
+    """One ``chain`` row (end-to-end) plus one row per stage."""
+    chain: Dict[str, Any] = {"strategy": name, "stage": "chain"}
+    chain.update(outcome.summary())
+    chain["mean_skewness"] = max(
+        (stage.metrics.mean_skewness for stage in outcome.stages.values()),
+        default=0.0,
+    )
+    rows = [chain]
+    for stage_name, stage in outcome.stages.items():
+        row: Dict[str, Any] = {"strategy": name, "stage": stage_name}
+        row.update(stage.summary())
+        row["mean_skewness"] = stage.metrics.mean_skewness
+        rows.append(row)
+    return rows
+
+
 def run_bench(
     spec: RuntimeSpec,
     *,
     store: Optional[Any] = None,
     output_path: Optional[Union[str, Path]] = DEFAULT_BENCH_REPORT,
-    on_result: Optional[Callable[[str, RuntimeResult], None]] = None,
-) -> Tuple[ExperimentRun, Dict[str, RuntimeResult]]:
+    on_result: Optional[Callable[[str, Any], None]] = None,
+) -> Tuple[ExperimentRun, Dict[str, Any]]:
     """Run every strategy of ``spec`` on the same stream; measure wall clock.
 
     Returns the persisted-shape :class:`ExperimentRun` (metadata tagged
-    ``engine="process"``) and the raw per-strategy
-    :class:`~repro.runtime.local.RuntimeResult` objects.  When ``store`` is
-    given the run is saved with the per-strategy
+    ``engine="process"``) and the raw per-strategy outcomes —
+    :class:`~repro.runtime.local.RuntimeResult` for single-stage workloads,
+    :class:`~repro.runtime.topology.TopologyResult` for topology workloads
+    (whose rows carry one ``chain`` record plus one record per stage).
+    When ``store`` is given the run is saved with the per-strategy
     :class:`~repro.engine.metrics.MetricsCollector` and latency histogram as
     artifacts; when ``output_path`` is given the standalone JSON report is
     written there (``None`` disables it).
     """
     scale = spec.resolve_scale()
-    logic, stream = BENCH_WORKLOADS[spec.workload](scale, spec.parallelism, spec.seed)
+    topology = BENCH_TOPOLOGY_WORKLOADS.get(spec.workload)
+
+    if topology is not None:
+        stream = topology.build_stream(scale, spec.seed)
+        logic = None
+    else:
+        logic, stream = BENCH_WORKLOADS[spec.workload](
+            scale, spec.parallelism, spec.seed
+        )
 
     started = time.perf_counter()
-    outcomes: Dict[str, RuntimeResult] = {}
+    outcomes: Dict[str, Any] = {}
     for name in spec.strategies:
-        partitioner = _build_strategy(name, spec, scale)
-        runtime = LocalRuntime(
-            logic, partitioner, spec.runtime_config(), label=name
-        )
-        outcome = runtime.run(stream)
+        if topology is not None:
+            def build(strategy_name: str, parallelism: int) -> Partitioner:
+                return _build_strategy(
+                    strategy_name, spec, scale, parallelism=parallelism
+                )
+
+            topo_spec = topology.build_topology(scale, spec, name, build)
+            outcome: Any = TopologyRuntime(
+                topo_spec, spec.runtime_config(), label=name
+            ).run(stream)
+        else:
+            partitioner = _build_strategy(name, spec, scale)
+            outcome = LocalRuntime(
+                logic, partitioner, spec.runtime_config(), label=name
+            ).run(stream)
         outcomes[name] = outcome
         if on_result is not None:
             on_result(name, outcome)
@@ -346,19 +654,38 @@ def run_bench(
             "workload": spec.workload,
             "parallelism": spec.parallelism,
             "scale": spec.scale_label(),
-            "service_time_us": spec.service_time_us,
+            "service_time_us": (
+                "auto" if spec.calibrate_pacing else spec.service_time_us
+            ),
             "intervals": scale.sim_intervals,
             "tuples_per_interval": scale.tuples_per_interval,
             "num_keys": scale.num_keys,
             "skew": scale.skew,
+            **(
+                {
+                    "stages": ",".join(topology.stages),
+                    "offered_rate": spec.offered_rate or "closed-loop",
+                }
+                if topology is not None
+                else {}
+            ),
         },
         notes=(
             "measured on live worker processes (bounded queues, paced service); "
             "latency percentiles from merged per-worker histograms"
+            + (
+                "; chain rows report end-to-end (source-offer to final-stage) latency"
+                if topology is not None
+                else ""
+            )
         ),
     )
     for name in spec.strategies:
-        result.add_row(**_result_row(name, outcomes[name]))
+        if topology is not None:
+            for row in _topology_rows(name, outcomes[name]):
+                result.add_row(**row)
+        else:
+            result.add_row(**_result_row(name, outcomes[name]))
 
     from repro import __version__
 
@@ -389,11 +716,20 @@ def run_bench(
     if store is not None:
         artifacts: Dict[str, Any] = {}
         for name, outcome in outcomes.items():
-            artifacts[f"{name}.metrics"] = outcome.metrics
-            artifacts[f"{name}.latency"] = outcome.latency
-            artifacts[f"{name}.migrations"] = [
-                report.to_dict() for report in outcome.migrations
-            ]
+            if isinstance(outcome, TopologyResult):
+                for stage_name, stage in outcome.stages.items():
+                    artifacts[f"{name}.{stage_name}.metrics"] = stage.metrics
+                    artifacts[f"{name}.{stage_name}.latency"] = stage.latency
+                artifacts[f"{name}.e2e_latency"] = outcome.e2e_latency
+                artifacts[f"{name}.migrations"] = [
+                    report.to_dict() for report in outcome.migrations
+                ]
+            else:
+                artifacts[f"{name}.metrics"] = outcome.metrics
+                artifacts[f"{name}.latency"] = outcome.latency
+                artifacts[f"{name}.migrations"] = [
+                    report.to_dict() for report in outcome.migrations
+                ]
         store.save(run, artifacts=artifacts)
 
     if output_path is not None:
@@ -401,9 +737,32 @@ def run_bench(
     return run, outcomes
 
 
+def _stage_report(stage: RuntimeResult) -> Dict[str, Any]:
+    return {
+        "summary": stage.summary(),
+        "shed_by_task": {
+            str(task): shed for task, shed in stage.shed_by_task.items()
+        },
+        "migrations": [report.to_dict() for report in stage.migrations],
+        "calibrated_service_time_us": stage.calibrated_service_time_us,
+    }
+
+
+def _strategy_report(outcome: Any) -> Dict[str, Any]:
+    if isinstance(outcome, TopologyResult):
+        return {
+            "summary": outcome.summary(),
+            "stages": {
+                name: _stage_report(stage)
+                for name, stage in outcome.stages.items()
+            },
+        }
+    return _stage_report(outcome)
+
+
 def write_bench_report(
     run: ExperimentRun,
-    outcomes: Mapping[str, RuntimeResult],
+    outcomes: Mapping[str, Any],
     path: Union[str, Path] = DEFAULT_BENCH_REPORT,
 ) -> Path:
     """Write the standalone ``BENCH_runtime.json`` benchmark report."""
@@ -412,14 +771,7 @@ def write_bench_report(
         "spec": run.spec.params.get("runtime_spec", {}),
         "rows": [dict(row) for row in run.result.rows],
         "per_strategy": {
-            name: {
-                "summary": outcome.summary(),
-                "shed_by_task": {
-                    str(task): shed for task, shed in outcome.shed_by_task.items()
-                },
-                "migrations": [report.to_dict() for report in outcome.migrations],
-            }
-            for name, outcome in outcomes.items()
+            name: _strategy_report(outcome) for name, outcome in outcomes.items()
         },
     }
     target = Path(path)

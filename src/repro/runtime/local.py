@@ -1,15 +1,13 @@
-"""The local multi-process runtime coordinator.
+"""Single-stage execution: the one-stage special case of the topology runtime.
 
-:class:`LocalRuntime` wires the pieces together: it spawns N worker processes
-(each hosting one :class:`~repro.engine.operator.Task` of the operator under
-study), feeds them through bounded queues via a
-:class:`~repro.runtime.router.StreamRouter`, runs a
-:class:`~repro.runtime.controller.RuntimeController` at every interval
-boundary (online planning + live key migration), and aggregates the workers'
-counters and latency histograms into a
-:class:`~repro.engine.metrics.MetricsCollector` plus a
-:class:`~repro.runtime.result.RuntimeResult`-style summary, so fluid and
-process runs read the same way.
+:class:`LocalRuntime` keeps the PR-3 API — one operator, one partitioner, N
+worker processes — but since the multi-stage refactor it is a thin wrapper
+over :class:`~repro.runtime.topology.TopologyRuntime`: it builds a one-stage
+:class:`~repro.runtime.topology.TopologySpec` and returns that stage's
+:class:`~repro.runtime.topology.RuntimeResult`.  Everything measured —
+per-interval accounting through FIFO markers, live key migration, latency
+histograms (now with per-interval deltas), shedding, backpressure — is the
+topology machinery with a chain of length one.
 
 The workload is an iterable of per-interval tuple lists (``[(key, value),
 …]``); helpers in :mod:`repro.runtime.bench` expand the repo's
@@ -18,203 +16,20 @@ snapshot-based workload generators into such streams.
 
 from __future__ import annotations
 
-import multiprocessing
-import queue as queue_module
-import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple, Type
+from typing import Optional
 
 from repro.baselines.base import Partitioner
-from repro.core.load import max_balance_indicator, max_skewness
-from repro.core.statistics import IntervalStats
-from repro.engine.metrics import IntervalMetrics, MetricsCollector
 from repro.engine.operator import OperatorLogic
-from repro.runtime.controller import LiveMigrationReport, RuntimeController
-from repro.runtime.histogram import LatencyHistogram
-from repro.runtime.messages import (
-    EndInterval,
-    EndOfStream,
-    FinalReport,
-    IntervalReport,
-    WorkerError,
+from repro.runtime.topology import (
+    RuntimeConfig,
+    RuntimeResult,
+    StageSpec,
+    TopologyRuntime,
+    TopologySpec,
+    TupleStream,
 )
-from repro.runtime.router import StreamRouter
-from repro.runtime.worker import worker_main
 
 __all__ = ["RuntimeConfig", "RuntimeResult", "LocalRuntime"]
-
-Key = Hashable
-TupleStream = Iterable[List[Tuple[Key, Any]]]
-
-
-@dataclass(frozen=True)
-class RuntimeConfig:
-    """Knobs of the process runtime.
-
-    Attributes
-    ----------
-    parallelism:
-        Number of worker processes (= operator task instances).
-    batch_size:
-        Tuples per dispatched micro-batch.
-    queue_capacity:
-        Bound of each worker's inbound queue, in batches; the dispatcher
-        blocks (backpressure) or sheds (see ``shed_timeout_seconds``) when a
-        queue is full.
-    service_time_us:
-        Emulated service time per cost unit (pacing); 0 disables pacing and
-        the workers run as fast as the host CPU allows.
-    shed_timeout_seconds:
-        When set, a dispatch blocked longer than this sheds the batch (the
-        drop is recorded per task); ``None`` means pure backpressure.
-    collect_final_state:
-        Ask workers to report their final windowed per-key payloads
-        (correctness tests; expensive for large state).
-    start_method:
-        ``multiprocessing`` start method; default picks ``fork`` when the
-        platform offers it, else ``spawn``.
-    join_timeout_seconds:
-        How long to wait for replies/workers before declaring the run wedged.
-    """
-
-    parallelism: int = 4
-    batch_size: int = 256
-    queue_capacity: int = 8
-    service_time_us: float = 50.0
-    shed_timeout_seconds: Optional[float] = None
-    collect_final_state: bool = False
-    start_method: Optional[str] = None
-    join_timeout_seconds: float = 120.0
-
-    def __post_init__(self) -> None:
-        if self.parallelism <= 0:
-            raise ValueError("parallelism must be positive")
-        if self.batch_size <= 0:
-            raise ValueError("batch_size must be positive")
-        if self.queue_capacity <= 0:
-            raise ValueError("queue_capacity must be positive")
-        if self.service_time_us < 0:
-            raise ValueError("service_time_us must be non-negative")
-        if self.join_timeout_seconds <= 0:
-            raise ValueError("join_timeout_seconds must be positive")
-
-
-@dataclass
-class RuntimeResult:
-    """Measured outcome of one process-runtime run."""
-
-    label: str
-    metrics: MetricsCollector
-    latency: LatencyHistogram
-    tuples_offered: int = 0
-    tuples_processed: int = 0
-    tuples_shed: float = 0.0
-    wall_seconds: float = 0.0
-    migrations: List[LiveMigrationReport] = field(default_factory=list)
-    final_reports: Dict[int, FinalReport] = field(default_factory=dict)
-    final_state: Dict[Key, List[Any]] = field(default_factory=dict)
-    shed_by_task: Dict[int, float] = field(default_factory=dict)
-
-    @property
-    def tuples_per_second(self) -> float:
-        return self.tuples_processed / self.wall_seconds if self.wall_seconds > 0 else 0.0
-
-    @property
-    def pause_seconds_total(self) -> float:
-        return sum(report.pause_seconds for report in self.migrations)
-
-    @property
-    def moved_keys_total(self) -> int:
-        return sum(report.moved_keys for report in self.migrations)
-
-    def summary(self) -> Dict[str, float]:
-        """Headline numbers (one bench table row)."""
-        row: Dict[str, float] = {
-            "tuples": float(self.tuples_processed),
-            "wall_seconds": self.wall_seconds,
-            "tuples_per_second": self.tuples_per_second,
-        }
-        row.update(self.summary_latency())
-        row.update(
-            {
-                "rebalances": float(len(self.migrations)),
-                "moved_keys": float(self.moved_keys_total),
-                "pause_seconds": self.pause_seconds_total,
-                "shed_tuples": float(self.tuples_shed),
-            }
-        )
-        return row
-
-    def summary_latency(self) -> Dict[str, float]:
-        summary = self.latency.summary_ms()
-        summary.pop("samples", None)
-        summary.pop("latency_max_ms", None)
-        return summary
-
-
-class _Mailbox:
-    """Demultiplexes the shared outbound queue by message type.
-
-    Replies from workers (interval reports, state shipments, install acks,
-    final reports) interleave arbitrarily; consumers ask for a specific type
-    and everything else is stashed for later.
-    """
-
-    def __init__(self, out_queue: Any, timeout_seconds: float) -> None:
-        self._queue = out_queue
-        self._timeout = timeout_seconds
-        self._pending: List[Any] = []
-
-    def _check(self, message: Any) -> Any:
-        if isinstance(message, WorkerError):
-            raise RuntimeError(
-                f"worker {message.worker_id} crashed:\n{message.message}"
-            )
-        return message
-
-    def _take_pending(self, message_type: Type, limit: Optional[int]) -> List[Any]:
-        matched: List[Any] = []
-        remaining: List[Any] = []
-        for message in self._pending:
-            if isinstance(message, message_type) and (
-                limit is None or len(matched) < limit
-            ):
-                matched.append(message)
-            else:
-                remaining.append(message)
-        self._pending = remaining
-        return matched
-
-    def collect(self, message_type: Type, expected: int) -> List[Any]:
-        """Block until ``expected`` messages of ``message_type`` arrived."""
-        matched = self._take_pending(message_type, expected)
-        deadline = time.monotonic() + self._timeout
-        while len(matched) < expected:
-            timeout = deadline - time.monotonic()
-            if timeout <= 0:
-                raise RuntimeError(
-                    f"timed out waiting for {expected} {message_type.__name__} "
-                    f"replies (got {len(matched)})"
-                )
-            try:
-                message = self._check(self._queue.get(timeout=timeout))
-            except queue_module.Empty:
-                continue
-            if isinstance(message, message_type):
-                matched.append(message)
-            else:
-                self._pending.append(message)
-        return matched
-
-    def drain(self, message_type: Type) -> List[Any]:
-        """Every already-available message of ``message_type`` (non-blocking)."""
-        while True:
-            try:
-                message = self._check(self._queue.get_nowait())
-            except queue_module.Empty:
-                break
-            self._pending.append(message)
-        return self._take_pending(message_type, None)
 
 
 class LocalRuntime:
@@ -238,200 +53,11 @@ class LocalRuntime:
             )
         self.label = label or getattr(partitioner, "name", "runtime")
 
-    # -- orchestration ------------------------------------------------------------
-
     def run(self, stream: TupleStream) -> RuntimeResult:
         """Execute the stream; blocks until every worker drained and exited."""
-        config = self.config
-        method = config.start_method
-        if method is None:
-            method = (
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else "spawn"
-            )
-        context = multiprocessing.get_context(method)
-
-        worker_queues = [
-            context.Queue(maxsize=config.queue_capacity)
-            for _ in range(config.parallelism)
-        ]
-        out_queue = context.Queue()
-        mailbox = _Mailbox(out_queue, config.join_timeout_seconds)
-
-        router = StreamRouter(
-            self.partitioner,
-            self.logic,
-            worker_queues,
-            batch_size=config.batch_size,
-            shed_timeout_seconds=config.shed_timeout_seconds,
+        spec = TopologySpec(
+            self.label,
+            [StageSpec(name=self.label, logic=self.logic, partitioner=self.partitioner)],
         )
-        controller = RuntimeController(
-            self.partitioner, router, worker_queues, mailbox
-        )
-
-        workers = [
-            context.Process(
-                target=worker_main,
-                args=(
-                    worker_id,
-                    self.logic,
-                    worker_queues[worker_id],
-                    out_queue,
-                    config.service_time_us,
-                ),
-                daemon=True,
-                name=f"repro-worker-{worker_id}",
-            )
-            for worker_id in range(config.parallelism)
-        ]
-        for process in workers:
-            process.start()
-
-        interval_rows: List[Dict[str, Any]] = []
-        wall_start = time.monotonic()
-        try:
-            for interval, tuples in enumerate(stream):
-                router.begin_interval(interval)
-                started = time.monotonic()
-                # poll between micro-batches: an in-flight migration hand-off
-                # advances while the next interval's tuples keep flowing.
-                router.dispatch(tuples, pump=controller.poll)
-                # Finish any hand-off BEFORE the markers: tuples released by
-                # resume() belong to this interval and must precede its
-                # EndInterval in the FIFO queues to be counted in it.
-                controller.finish_pending()
-                for task_queue in worker_queues:
-                    task_queue.put(EndInterval(interval=interval))
-                migration = controller.end_interval(
-                    self._interval_stats(interval, router.dispatched_freqs)
-                )
-                now = time.monotonic()
-                interval_rows.append(
-                    {
-                        "interval": interval,
-                        "offered_tuples": sum(router.offered_tuples.values()),
-                        "offered_cost": dict(router.offered_cost),
-                        "shed": dict(router.shed_tuples_interval),
-                        "elapsed": now - started,
-                        "migration": migration,
-                    }
-                )
-
-            # A hand-off begun on the final interval must complete (install
-            # the shipped state, release the buffered tuples) before EOS.
-            controller.finish_pending()
-            for task_queue in worker_queues:
-                task_queue.put(EndOfStream(collect_state=config.collect_final_state))
-            finals: List[FinalReport] = mailbox.collect(
-                FinalReport, config.parallelism
-            )
-            wall_seconds = time.monotonic() - wall_start
-        finally:
-            self._shutdown(workers)
-
-        return self._aggregate(
-            interval_rows, finals, mailbox, router, controller, wall_seconds
-        )
-
-    def _shutdown(self, workers: List[Any]) -> None:
-        deadline = time.monotonic() + 10.0
-        for process in workers:
-            process.join(timeout=max(0.1, deadline - time.monotonic()))
-        for process in workers:
-            if process.is_alive():  # pragma: no cover - wedged-worker cleanup
-                process.terminate()
-                process.join(timeout=5.0)
-
-    # -- aggregation ---------------------------------------------------------------
-
-    def _interval_stats(
-        self, interval: int, freqs: Dict[Key, float]
-    ) -> IntervalStats:
-        stats = IntervalStats(interval)
-        tuple_cost = self.logic.tuple_cost
-        state_delta = self.logic.state_delta
-        stats.record_bulk(
-            (key, count, count * tuple_cost(key), count * state_delta(key))
-            for key, count in freqs.items()
-            if count > 0
-        )
-        return stats
-
-    def _aggregate(
-        self,
-        interval_rows: List[Dict[str, Any]],
-        finals: List[FinalReport],
-        mailbox: _Mailbox,
-        router: StreamRouter,
-        controller: RuntimeController,
-        wall_seconds: float,
-    ) -> RuntimeResult:
-        # Interval reports may still sit in the mailbox (they are only pulled
-        # on demand); drain everything that is left.
-        per_interval: Dict[int, List[IntervalReport]] = {}
-        for message in mailbox.drain(IntervalReport):
-            per_interval.setdefault(message.interval, []).append(message)
-
-        latency = LatencyHistogram()
-        final_reports: Dict[int, FinalReport] = {}
-        final_state: Dict[Key, List[Any]] = {}
-        processed_total = 0
-        for report in finals:
-            final_reports[report.worker_id] = report
-            latency.merge(LatencyHistogram.from_dict(report.histogram))
-            processed_total += report.processed
-            final_state.update(report.final_state)
-
-        metrics = MetricsCollector(label=self.label)
-        for row in interval_rows:
-            interval = row["interval"]
-            reports = per_interval.get(interval, [])
-            processed = sum(report.processed for report in reports)
-            latency_sum_us = sum(report.latency_us_sum for report in reports)
-            elapsed = row["elapsed"]
-            migration: Optional[LiveMigrationReport] = row["migration"]
-            offered_cost: Dict[int, float] = row["offered_cost"]
-            shed_map: Dict[int, float] = row["shed"]
-            metrics.record(
-                IntervalMetrics(
-                    interval=interval,
-                    offered_tuples=row["offered_tuples"],
-                    processed_tuples=float(processed),
-                    shed_tuples=sum(shed_map.values()),
-                    throughput=float(processed) / elapsed if elapsed > 0 else 0.0,
-                    latency_ms=(
-                        latency_sum_us / processed / 1000.0 if processed else 0.0
-                    ),
-                    skewness=max_skewness(offered_cost),
-                    max_theta=max_balance_indicator(offered_cost),
-                    migrated_state=migration.moved_state if migration else 0.0,
-                    migration_fraction=(
-                        migration.migration_fraction if migration else 0.0
-                    ),
-                    migration_seconds=migration.pause_seconds if migration else 0.0,
-                    generation_time=migration.generation_time if migration else 0.0,
-                    routing_table_size=migration.table_size if migration else 0,
-                    rebalanced=migration is not None,
-                    num_tasks=self.config.parallelism,
-                    per_task_load=offered_cost,
-                    per_task_shed=shed_map,
-                )
-            )
-
-        offered_total = int(
-            sum(row["offered_tuples"] for row in interval_rows)
-        )
-        return RuntimeResult(
-            label=self.label,
-            metrics=metrics,
-            latency=latency,
-            tuples_offered=offered_total,
-            tuples_processed=processed_total,
-            tuples_shed=router.shed_ledger.total,
-            wall_seconds=wall_seconds,
-            migrations=list(controller.migrations),
-            final_reports=final_reports,
-            final_state=final_state,
-            shed_by_task=router.shed_ledger.by_task(),
-        )
+        outcome = TopologyRuntime(spec, self.config, label=self.label).run(stream)
+        return outcome.stages[self.label]

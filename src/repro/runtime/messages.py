@@ -1,12 +1,21 @@
 """Message types flowing between the coordinator and the worker processes.
 
 Each worker has one bounded *inbound* queue carrying data **and** control
-messages in FIFO order, and all workers share one *outbound* queue back to the
-coordinator.  The in-order inbound queue is what makes live migration safe: an
-:class:`ExtractKeys` command enqueued after a key's last data batch is
-processed only once every preceding tuple of that key has been applied to the
-worker's state, so the shipped snapshot is complete (steps 3–6 of the paper's
-Fig. 5 protocol without a separate ack channel).
+messages in FIFO order, and all workers of a stage share one *outbound* queue
+back to the coordinator.  The in-order inbound queue is what makes live
+migration safe: an :class:`ExtractKeys` command enqueued after a key's last
+data batch is processed only once every preceding tuple of that key has been
+applied to the worker's state, so the shipped snapshot is complete (steps 3–6
+of the paper's Fig. 5 protocol without a separate ack channel).
+
+In a multi-stage topology a third queue family appears: each stage's workers
+put their emitted tuples onto a shared bounded *egress* queue consumed by the
+next stage's router.  :class:`EmittedBatch` carries the data;
+:class:`UpstreamMark` / :class:`UpstreamDone` are the per-producer interval
+and end-of-stream markers (the downstream router closes an interval only when
+every upstream producer's mark arrived, so FIFO ordering per producer keeps
+interval accounting sound).  The open-loop source process speaks the same
+producer protocol, so stage 0 is not a special case.
 
 Everything here must pickle cheaply: batches carry plain ``(key, value)``
 pairs rather than :class:`~repro.engine.tuples.StreamTuple` objects (the
@@ -25,7 +34,11 @@ __all__ = [
     "EndInterval",
     "ExtractKeys",
     "InstallState",
+    "SetServiceTime",
     "EndOfStream",
+    "EmittedBatch",
+    "UpstreamMark",
+    "UpstreamDone",
     "IntervalReport",
     "StateShipment",
     "InstallAck",
@@ -44,14 +57,18 @@ class TupleBatch:
     """A micro-batch of tuples routed to one worker.
 
     ``sent_at`` is a ``time.monotonic()`` stamp taken when the batch was
-    enqueued; per-tuple latency is measured against it on the worker (on
-    Linux the monotonic clock is system-wide, so stamps are comparable
-    across processes).
+    enqueued; per-tuple *stage* latency is measured against it on the worker
+    (on Linux the monotonic clock is system-wide, so stamps are comparable
+    across processes).  ``origin_at`` is the stamp of the batch's oldest
+    tuple at the topology *source* (the moment it was offered); the final
+    stage measures end-to-end latency against it.  A zero ``origin_at``
+    means "same as sent_at" (single-stage runs).
     """
 
     interval: int
     sent_at: float
     tuples: List[Tuple[Key, Any]]
+    origin_at: float = 0.0
 
 
 @dataclass
@@ -76,6 +93,18 @@ class InstallState:
 
 
 @dataclass
+class SetServiceTime:
+    """Adjust the worker's emulated per-cost-unit service time mid-run.
+
+    Sent by the coordinator after the calibration interval (adaptive pacing):
+    the first interval runs unpaced to measure the host's raw speed, then the
+    pacing that keeps the bench saturated on *this* machine is installed.
+    """
+
+    service_time_us: float
+
+
+@dataclass
 class EndOfStream:
     """No more data; reply with a FinalReport and exit.
 
@@ -85,6 +114,45 @@ class EndOfStream:
     """
 
     collect_state: bool = False
+
+
+# -- stage -> stage (and source -> first stage) ------------------------------------
+
+
+@dataclass
+class EmittedBatch:
+    """Tuples emitted by one upstream producer, before downstream routing.
+
+    ``interval`` is the logical interval the tuples belong to; ``origin_at``
+    the source-offer stamp of the batch's oldest tuple.  The downstream
+    stage's router re-keys nothing (the producer already applied its stage's
+    key mapper) — it only assigns destinations and re-stamps ``sent_at``.
+    """
+
+    interval: int
+    origin_at: float
+    tuples: List[Tuple[Key, Any]]
+
+
+@dataclass
+class UpstreamMark:
+    """One producer finished emitting for ``interval``.
+
+    The downstream router closes the interval once every producer's mark
+    arrived (producer = source process for stage 0, upstream worker for
+    later stages; FIFO queue order guarantees the mark follows the
+    producer's last batch of the interval).
+    """
+
+    producer_id: int
+    interval: int
+
+
+@dataclass
+class UpstreamDone:
+    """One producer reached end of stream and will emit nothing more."""
+
+    producer_id: int
 
 
 # -- worker -> coordinator ---------------------------------------------------------
@@ -107,6 +175,10 @@ class IntervalReport:
     busy_seconds: float
     #: Sum of per-tuple latencies (µs) over the interval, for weighted means.
     latency_us_sum: float = 0.0
+    #: Log-bucketed latency histogram *delta* of this interval alone
+    #: (:meth:`~repro.runtime.histogram.LatencyHistogram.to_dict` payload), so
+    #: latency-over-time plots come from measured data, not just the mean.
+    histogram: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -141,6 +213,16 @@ class FinalReport:
     state_keys: int
     #: ``{key: [windowed payloads, oldest first]}`` when collect_state was set.
     final_state: Dict[Key, List[Any]] = field(default_factory=dict)
+    #: Latency recorded after the last interval marker (e.g. tuples released
+    #: by a final migration hand-off); folded into the last interval's delta
+    #: so the per-interval histograms still sum to the lifetime histogram.
+    tail_histogram: Dict[str, Any] = field(default_factory=dict)
+    #: End-to-end (source-offer to completion) histogram; only populated by
+    #: final-stage workers (no egress), where it differs from ``histogram``.
+    e2e_histogram: Dict[str, Any] = field(default_factory=dict)
+    #: The service pacing in effect when the worker exited (observability for
+    #: the adaptive calibration).
+    service_time_us: float = 0.0
 
 
 @dataclass

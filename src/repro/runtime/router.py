@@ -41,9 +41,32 @@ from repro.engine.backpressure import ShedLedger
 from repro.engine.operator import OperatorLogic
 from repro.runtime.messages import TupleBatch
 
-__all__ = ["StreamRouter"]
+__all__ = ["IntervalAccount", "StreamRouter"]
 
 Key = Hashable
+
+
+class IntervalAccount:
+    """Dispatch accounting of one logical interval.
+
+    Kept per interval (not per "current interval") because a pipelined
+    upstream stage can emit tuples of interval ``k+1`` before interval
+    ``k`` closed downstream; charging them to the open interval would feed
+    the rebalancing planner and the skewness metrics mixed-interval
+    statistics.
+    """
+
+    __slots__ = ("freqs", "offered_tuples", "offered_cost", "shed")
+
+    def __init__(self, num_tasks: int) -> None:
+        self.freqs: Dict[Key, float] = {}
+        self.offered_tuples: Dict[int, float] = {
+            task: 0.0 for task in range(num_tasks)
+        }
+        self.offered_cost: Dict[int, float] = {
+            task: 0.0 for task in range(num_tasks)
+        }
+        self.shed: Dict[int, float] = {}
 
 
 class StreamRouter:
@@ -73,25 +96,53 @@ class StreamRouter:
         self.shed_ledger = ShedLedger()
 
         self._paused_keys: set = set()
-        #: Held tuples of paused keys: ``(key, value, interval, buffered_at)``.
-        self._pause_buffer: List[Tuple[Key, Any, int, float]] = []
+        #: Held tuples of paused keys: ``(key, value, interval, buffered_at,
+        #: origin_at)``.
+        self._pause_buffer: List[Tuple[Key, Any, int, float, float]] = []
 
-        # Per-interval dispatch accounting (reset by begin_interval).
-        self.dispatched_freqs: Dict[Key, float] = {}
-        self.offered_tuples: Dict[int, float] = {}
-        self.offered_cost: Dict[int, float] = {}
-        self.shed_tuples_interval: Dict[int, float] = {}
+        # Dispatch accounting, bucketed by the batches' logical interval.
+        self._accounts: Dict[int, IntervalAccount] = {}
         self._interval = 0
 
     # -- interval accounting ------------------------------------------------------
 
+    def _account(self, interval: int) -> IntervalAccount:
+        account = self._accounts.get(interval)
+        if account is None:
+            account = self._accounts[interval] = IntervalAccount(
+                len(self.worker_queues)
+            )
+        return account
+
     def begin_interval(self, interval: int) -> None:
-        """Reset the per-interval dispatch counters."""
+        """Advance the default interval tag (untagged dispatch charges here)."""
         self._interval = int(interval)
-        self.dispatched_freqs = {}
-        self.offered_tuples = {task: 0.0 for task in range(len(self.worker_queues))}
-        self.offered_cost = {task: 0.0 for task in range(len(self.worker_queues))}
-        self.shed_tuples_interval = {}
+        self._account(self._interval)
+
+    def pop_interval(self, interval: int) -> IntervalAccount:
+        """Take (and drop) the closed interval's dispatch accounting."""
+        return self._accounts.pop(
+            interval, IntervalAccount(len(self.worker_queues))
+        )
+
+    # Current-interval views (single-stage runs and debugging; a topology
+    # coordinator uses :meth:`pop_interval` at each close instead).
+
+    @property
+    def dispatched_freqs(self) -> Dict[Key, float]:
+        return self._account(self._interval).freqs
+
+    @property
+    def offered_tuples(self) -> Dict[int, float]:
+        return self._account(self._interval).offered_tuples
+
+    @property
+    def offered_cost(self) -> Dict[int, float]:
+        return self._account(self._interval).offered_cost
+
+    @property
+    def shed_tuples_interval(self) -> Dict[int, float]:
+        return self._account(self._interval).shed
 
     # -- dispatch -----------------------------------------------------------------
 
@@ -99,42 +150,65 @@ class StreamRouter:
         self,
         tuples: Iterable[Tuple[Key, Any]],
         pump: Optional[Callable[[], None]] = None,
+        *,
+        interval: Optional[int] = None,
+        origin_at: Optional[float] = None,
     ) -> None:
         """Route and enqueue a stream of ``(key, value)`` tuples in micro-batches.
 
         ``pump`` is called between micro-batches; the coordinator uses it to
         advance an in-flight migration hand-off while dispatch continues.
+        ``interval`` tags the dispatched batches (default: the router's
+        current interval — in a pipelined topology an upstream stage may
+        still emit tuples of an earlier interval); ``origin_at`` carries the
+        source-offer stamp for end-to-end latency.
         """
         chunk: List[Tuple[Key, Any]] = []
         for pair in tuples:
             chunk.append(pair)
             if len(chunk) >= self.batch_size:
-                self._dispatch_chunk(chunk)
+                self._dispatch_chunk(chunk, interval, origin_at)
                 chunk = []
                 if pump is not None:
                     pump()
         if chunk:
-            self._dispatch_chunk(chunk)
+            self._dispatch_chunk(chunk, interval, origin_at)
             if pump is not None:
                 pump()
 
-    def _dispatch_chunk(self, chunk: List[Tuple[Key, Any]]) -> None:
+    def _dispatch_chunk(
+        self,
+        chunk: List[Tuple[Key, Any]],
+        interval: Optional[int] = None,
+        origin_at: Optional[float] = None,
+    ) -> None:
         tuple_cost = self.logic.tuple_cost
         destinations = self.partitioner.assign_batch([key for key, _ in chunk])
         per_task: Dict[int, List[Tuple[Key, Any]]] = {}
         now = time.monotonic()
+        tag = self._interval if interval is None else int(interval)
+        origin = now if origin_at is None else origin_at
+        account = self._account(tag)
+        freqs = account.freqs
+        offered_tuples = account.offered_tuples
+        offered_cost = account.offered_cost
         for (key, value), task in zip(chunk, destinations):
-            self.dispatched_freqs[key] = self.dispatched_freqs.get(key, 0.0) + 1.0
-            self.offered_tuples[task] = self.offered_tuples.get(task, 0.0) + 1.0
-            self.offered_cost[task] = (
-                self.offered_cost.get(task, 0.0) + tuple_cost(key, value)
+            freqs[key] = freqs.get(key, 0.0) + 1.0
+            offered_tuples[task] = offered_tuples.get(task, 0.0) + 1.0
+            offered_cost[task] = (
+                offered_cost.get(task, 0.0) + tuple_cost(key, value)
             )
             if key in self._paused_keys:
-                self._pause_buffer.append((key, value, self._interval, now))
+                self._pause_buffer.append((key, value, tag, now, origin))
                 continue
             per_task.setdefault(task, []).append((key, value))
         for task, batch in per_task.items():
-            self._put(task, TupleBatch(interval=self._interval, sent_at=now, tuples=batch))
+            self._put(
+                task,
+                TupleBatch(
+                    interval=tag, sent_at=now, tuples=batch, origin_at=origin
+                ),
+            )
 
     def _put(self, task: int, batch: TupleBatch) -> None:
         if self.shed_timeout_seconds is None:
@@ -145,9 +219,8 @@ class StreamRouter:
         except queue_module.Full:
             count = len(batch.tuples)
             self.shed_ledger.record(task, count)
-            self.shed_tuples_interval[task] = (
-                self.shed_tuples_interval.get(task, 0.0) + count
-            )
+            shed = self._account(batch.interval).shed
+            shed[task] = shed.get(task, 0.0) + count
 
     # -- pause / resume (live migration support) ----------------------------------
 
@@ -172,16 +245,24 @@ class StreamRouter:
             index += self.batch_size
             destinations = self.partitioner.assign_batch([key for key, *_ in chunk])
             per_task: Dict[int, List[Tuple[Key, Any]]] = {}
-            for (key, value, interval, stamped_at), task in zip(chunk, destinations):
+            for (key, value, interval, stamped_at, origin_at), task in zip(
+                chunk, destinations
+            ):
                 per_task.setdefault(task, []).append((key, value))
             # One batch per destination, stamped with the oldest buffer time so
             # the wait is charged to the released tuples' latency.
-            oldest = min(stamped_at for *_, stamped_at in chunk)
+            oldest = min(stamped_at for _, _, _, stamped_at, _ in chunk)
+            origin = min(origin_at for *_, origin_at in chunk)
             interval = chunk[0][2]
             for task, batch in per_task.items():
                 self._put(
                     task,
-                    TupleBatch(interval=interval, sent_at=oldest, tuples=batch),
+                    TupleBatch(
+                        interval=interval,
+                        sent_at=oldest,
+                        tuples=batch,
+                        origin_at=origin,
+                    ),
                 )
         return released
 

@@ -1,0 +1,74 @@
+"""Source processes feeding a topology: closed-loop drain or open-loop pacing.
+
+The source is a separate process speaking the same producer protocol as an
+upstream stage's workers (:class:`~repro.runtime.messages.EmittedBatch` +
+:class:`~repro.runtime.messages.UpstreamMark` / ``UpstreamDone``), so the
+first stage's router treats "the outside world" exactly like any other
+upstream producer.
+
+Two offering disciplines:
+
+* **Closed loop** (``rate=None``, the default): batches are put as fast as
+  the bounded source queue accepts them.  The system runs saturated — the
+  drain rate *is* the measurement — which is the paper's throughput setup,
+  but latency below saturation is unobservable.
+* **Open loop** (``rate`` in tuples/second): each batch is *scheduled* on a
+  fixed timetable (batch ``n`` at ``start + offered/rate``) and ``origin_at``
+  is stamped with the scheduled offer time, not the actual put time.  When
+  the system falls behind, the blocking put delays subsequent offers but the
+  stamps still accrue the wait — measured latency is then free of coordinated
+  omission, and per-stage latency below saturation becomes measurable.
+
+The stream itself is a materialised list of per-interval tuple lists (the
+bench helpers expand the repo's snapshot generators or replay recorded
+traces into this shape).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
+
+from repro.runtime.messages import EmittedBatch, UpstreamDone, UpstreamMark
+
+__all__ = ["SOURCE_PRODUCER_ID", "source_main"]
+
+Key = Hashable
+
+#: Producer id the source uses in its marks (a topology has one source).
+SOURCE_PRODUCER_ID = 0
+
+
+def source_main(
+    stream: Sequence[List[Tuple[Key, Any]]],
+    out_queue: Any,
+    batch_size: int,
+    rate_tuples_per_s: Optional[float] = None,
+) -> None:
+    """Entry point of the source process (must stay module-level picklable).
+
+    Offers ``stream``'s tuples interval by interval in ``batch_size`` chunks,
+    each followed by its interval mark and finally an end-of-stream mark.
+    """
+    interval_pace = 1.0 / rate_tuples_per_s if rate_tuples_per_s else 0.0
+    started = time.monotonic()
+    offered = 0
+    for interval, tuples in enumerate(stream):
+        for index in range(0, len(tuples), batch_size):
+            chunk = tuples[index : index + batch_size]
+            if interval_pace:
+                scheduled = started + offered * interval_pace
+                delay = scheduled - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                origin = scheduled
+            else:
+                origin = time.monotonic()
+            out_queue.put(
+                EmittedBatch(interval=interval, origin_at=origin, tuples=chunk)
+            )
+            offered += len(chunk)
+        out_queue.put(
+            UpstreamMark(producer_id=SOURCE_PRODUCER_ID, interval=interval)
+        )
+    out_queue.put(UpstreamDone(producer_id=SOURCE_PRODUCER_ID))

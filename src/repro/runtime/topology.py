@@ -1,0 +1,992 @@
+"""The multi-stage process topology runtime.
+
+This is the execution core of :mod:`repro.runtime`: a
+:class:`TopologySpec` chains :class:`StageSpec` s — each stage owning its own
+group of worker processes, its own partitioner (and therefore its own online
+rebalancing strategy + live key migration), and its own
+:class:`~repro.runtime.router.StreamRouter` — into a dataflow pipeline::
+
+    source ──▶ [router₀]──▶ workers₀ ──▶ [router₁]──▶ workers₁ ──▶ …
+    (process)     │  bounded FIFO │ egress   │  bounded FIFO │
+                  ▼               ▼          ▼               ▼
+              controller₀     (bounded)  controller₁      final stage
+
+Every queue is bounded, so backpressure chains: a slow task in stage *k*
+fills its inbound queue, blocks stage *k*'s router thread, stops it draining
+stage *k−1*'s egress queue, blocks the upstream workers' emit puts — and the
+stall propagates to the source.  That is the paper's Fig. 16 effect ("the
+data imbalance slows down the previous join operator … and suspends the
+processing on downstream join operators"), reproduced on real processes and
+measured on the wall clock.
+
+The coordinator process runs one router thread per stage (threads spend
+their time in blocking queue operations, which release the GIL, so stages
+genuinely overlap) plus a per-stage :class:`~repro.runtime.controller.
+RuntimeController` executing any registered rebalancing strategy online.
+The source is a separate process (:mod:`repro.runtime.source`) offering
+tuples either closed-loop (drain, the saturated-throughput setup) or
+open-loop at a fixed rate (latency below saturation becomes measurable).
+
+Single-stage execution (:class:`~repro.runtime.local.LocalRuntime`) is the
+one-stage special case of this machinery.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from repro.baselines.base import Partitioner
+from repro.core.load import max_balance_indicator, max_skewness
+from repro.core.statistics import IntervalStats
+from repro.engine.metrics import IntervalMetrics, MetricsCollector
+from repro.engine.operator import OperatorLogic
+from repro.runtime.controller import LiveMigrationReport, RuntimeController
+from repro.runtime.histogram import LatencyHistogram
+from repro.runtime.messages import (
+    EmittedBatch,
+    EndInterval,
+    EndOfStream,
+    FinalReport,
+    IntervalReport,
+    UpstreamDone,
+    UpstreamMark,
+    WorkerError,
+)
+from repro.runtime.router import StreamRouter
+from repro.runtime.source import source_main
+from repro.runtime.worker import worker_main
+
+__all__ = [
+    "RuntimeConfig",
+    "RuntimeResult",
+    "StageSpec",
+    "TopologySpec",
+    "TopologyResult",
+    "TopologyRuntime",
+    "calibrated_service_time_us",
+]
+
+Key = Hashable
+TupleStream = Iterable[List[Tuple[Key, Any]]]
+
+#: Poll period of abort-aware blocking queue operations, seconds.
+_POLL_SECONDS = 0.1
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the process runtime.
+
+    Attributes
+    ----------
+    parallelism:
+        Number of worker processes of a *single-stage* run
+        (:class:`~repro.runtime.local.LocalRuntime`); topologies take each
+        stage's parallelism from its partitioner instead.
+    batch_size:
+        Tuples per dispatched micro-batch.
+    queue_capacity:
+        Bound of each worker's inbound queue and of every inter-stage egress
+        queue, in batches; a full queue blocks the producer (backpressure)
+        or sheds (see ``shed_timeout_seconds``).
+    service_time_us:
+        Emulated service time per cost unit (pacing); 0 disables pacing and
+        the workers run as fast as the host CPU allows.
+    offered_rate:
+        Open-loop source rate in tuples/second; ``None`` (default) is the
+        closed-loop drain.
+    calibrate_pacing:
+        Adaptive pacing: run the first interval unpaced, measure each
+        stage's drain speed on *this* host, then install
+        ``service_time_us = headroom × elapsed × parallelism / cost`` so the
+        bench stays saturated across machines of different speed (the
+        configured ``service_time_us`` is ignored).
+    calibration_headroom:
+        Target mean per-worker utilisation of the calibrated pacing,
+        relative to the unpaced drain rate; > 1 makes service capacity the
+        bottleneck so imbalance costs measurable throughput.
+    shed_timeout_seconds:
+        When set, a dispatch blocked longer than this sheds the batch (the
+        drop is recorded per task); ``None`` means pure backpressure.
+    collect_final_state:
+        Ask workers to report their final windowed per-key payloads
+        (correctness tests; expensive for large state).
+    start_method:
+        ``multiprocessing`` start method; default picks ``fork`` when the
+        platform offers it, else ``spawn``.
+    join_timeout_seconds:
+        How long to wait for replies/workers before declaring the run wedged.
+    """
+
+    parallelism: int = 4
+    batch_size: int = 256
+    queue_capacity: int = 8
+    service_time_us: float = 50.0
+    offered_rate: Optional[float] = None
+    calibrate_pacing: bool = False
+    calibration_headroom: float = 2.0
+    shed_timeout_seconds: Optional[float] = None
+    collect_final_state: bool = False
+    start_method: Optional[str] = None
+    join_timeout_seconds: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+        if self.service_time_us < 0:
+            raise ValueError("service_time_us must be non-negative")
+        if self.offered_rate is not None and self.offered_rate <= 0:
+            raise ValueError("offered_rate must be positive (or None)")
+        if self.calibration_headroom <= 0:
+            raise ValueError("calibration_headroom must be positive")
+        if self.join_timeout_seconds <= 0:
+            raise ValueError("join_timeout_seconds must be positive")
+
+
+def calibrated_service_time_us(
+    cost: float,
+    elapsed_seconds: float,
+    parallelism: int,
+    headroom: float = 2.0,
+) -> float:
+    """Pacing that saturates ``parallelism`` workers at a measured drain rate.
+
+    The unpaced first interval delivered ``cost`` cost units in
+    ``elapsed_seconds``; pacing each unit at the returned service time makes
+    the *mean* per-worker utilisation ``headroom`` at that offered rate — so
+    with ``headroom > 1`` the service capacity (not the host CPU or the
+    router) is the bottleneck, on any machine.
+    """
+    if cost <= 0 or elapsed_seconds <= 0 or parallelism <= 0:
+        return 0.0
+    return headroom * elapsed_seconds * parallelism / cost * 1e6
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a topology: an operator, its routing, its re-keying.
+
+    ``partitioner`` fixes the stage's parallelism (one worker process per
+    task) and, through its ``on_interval_end`` hook, the stage's online
+    rebalancing strategy.  ``key_mapper`` re-keys the stage's *output*
+    tuples for the next stage (e.g. the Q5 order-join re-keys by customer);
+    it runs inside the stage's workers, so it must be picklable.
+    """
+
+    name: str
+    logic: OperatorLogic
+    partitioner: Partitioner
+    key_mapper: Optional[Callable[[Key], Key]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stage name must be non-empty")
+
+    @property
+    def parallelism(self) -> int:
+        return self.partitioner.num_tasks
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """An ordered chain of stages fed by one source."""
+
+    name: str
+    stages: Tuple[StageSpec, ...]
+
+    def __init__(self, name: str, stages: Sequence[StageSpec]) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "stages", tuple(stages))
+        if not self.name:
+            raise ValueError("topology name must be non-empty")
+        if not self.stages:
+            raise ValueError("a topology needs at least one stage")
+        names = [stage.name for stage in self.stages]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate stage names in topology: {names}")
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+
+@dataclass
+class RuntimeResult:
+    """Measured outcome of one stage (or of a whole single-stage run)."""
+
+    label: str
+    metrics: MetricsCollector
+    latency: LatencyHistogram
+    tuples_offered: int = 0
+    tuples_processed: int = 0
+    tuples_shed: float = 0.0
+    wall_seconds: float = 0.0
+    migrations: List[LiveMigrationReport] = field(default_factory=list)
+    final_reports: Dict[int, FinalReport] = field(default_factory=dict)
+    final_state: Dict[Key, List[Any]] = field(default_factory=dict)
+    shed_by_task: Dict[int, float] = field(default_factory=dict)
+    #: Per-interval latency histogram deltas (merged across the stage's
+    #: workers); they sum to :attr:`latency` and give Fig. 13(b)-style
+    #: latency-over-time from measured buckets.
+    interval_latency: Dict[int, LatencyHistogram] = field(default_factory=dict)
+    #: End-to-end (source-offer to completion) histogram; populated on the
+    #: final stage of a topology, empty elsewhere.
+    e2e_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: Pacing installed by the adaptive calibration (``None`` = not calibrated).
+    calibrated_service_time_us: Optional[float] = None
+
+    @property
+    def tuples_per_second(self) -> float:
+        return self.tuples_processed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def pause_seconds_total(self) -> float:
+        return sum(report.pause_seconds for report in self.migrations)
+
+    @property
+    def moved_keys_total(self) -> int:
+        return sum(report.moved_keys for report in self.migrations)
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers (one bench table row)."""
+        row: Dict[str, float] = {
+            "tuples": float(self.tuples_processed),
+            "wall_seconds": self.wall_seconds,
+            "tuples_per_second": self.tuples_per_second,
+        }
+        row.update(self.summary_latency())
+        row.update(
+            {
+                "rebalances": float(len(self.migrations)),
+                "moved_keys": float(self.moved_keys_total),
+                "pause_seconds": self.pause_seconds_total,
+                "shed_tuples": float(self.tuples_shed),
+            }
+        )
+        return row
+
+    def summary_latency(self) -> Dict[str, float]:
+        summary = self.latency.summary_ms()
+        summary.pop("samples", None)
+        summary.pop("latency_max_ms", None)
+        return summary
+
+
+@dataclass
+class TopologyResult:
+    """Measured outcome of one topology run: one RuntimeResult per stage."""
+
+    label: str
+    stages: Dict[str, RuntimeResult]
+    wall_seconds: float = 0.0
+    tuples_offered: int = 0
+
+    @property
+    def stage_names(self) -> List[str]:
+        return list(self.stages)
+
+    @property
+    def final(self) -> RuntimeResult:
+        """The last stage — its processed count is the chain's output."""
+        return self.stages[next(reversed(self.stages))]
+
+    @property
+    def first(self) -> RuntimeResult:
+        return self.stages[next(iter(self.stages))]
+
+    @property
+    def e2e_latency(self) -> LatencyHistogram:
+        return self.final.e2e_latency
+
+    @property
+    def migrations(self) -> List[LiveMigrationReport]:
+        return [report for stage in self.stages.values() for report in stage.migrations]
+
+    @property
+    def tuples_processed(self) -> int:
+        """Tuples completed by the final stage (end-to-end output)."""
+        return self.final.tuples_processed
+
+    @property
+    def tuples_shed(self) -> float:
+        return sum(stage.tuples_shed for stage in self.stages.values())
+
+    @property
+    def tuples_per_second(self) -> float:
+        return self.tuples_processed / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Chain-level headline row (same keys as a stage summary).
+
+        Latency percentiles come from the final stage's measured end-to-end
+        histogram (source offer → completion), so they include every queue
+        and every stage of the chain.
+        """
+        e2e = self.e2e_latency.summary_ms()
+        return {
+            "tuples": float(self.tuples_processed),
+            "wall_seconds": self.wall_seconds,
+            "tuples_per_second": self.tuples_per_second,
+            "latency_p50_ms": e2e["latency_p50_ms"],
+            "latency_p99_ms": e2e["latency_p99_ms"],
+            "latency_mean_ms": e2e["latency_mean_ms"],
+            "rebalances": float(sum(len(s.migrations) for s in self.stages.values())),
+            "moved_keys": float(sum(s.moved_keys_total for s in self.stages.values())),
+            "pause_seconds": sum(s.pause_seconds_total for s in self.stages.values()),
+            "shed_tuples": float(self.tuples_shed),
+        }
+
+
+# -- coordination plumbing ---------------------------------------------------------
+
+
+class _Aborted(Exception):
+    """Raised inside stage threads when another stage already failed."""
+
+
+class _AbortFlag:
+    """First-error latch shared by every stage thread of one run."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self.error: Optional[str] = None
+
+    def trip(self, stage: str, exc: BaseException) -> None:
+        with self._lock:
+            if self.error is None:
+                self.error = f"stage {stage!r}: {exc}"
+        self._event.set()
+
+    def check(self) -> None:
+        if self._event.is_set():
+            raise _Aborted()
+
+    @property
+    def tripped(self) -> bool:
+        return self._event.is_set()
+
+
+class _AbortableQueue:
+    """A put-side queue proxy whose blocking waits stay interruptible.
+
+    ``checker`` is called between short waits; it raises (worker crashed,
+    sibling stage failed, run wedged) to unwind the caller instead of
+    blocking forever on a queue nobody will ever drain again.
+    """
+
+    def __init__(self, queue: Any, checker: Callable[[], None]) -> None:
+        self._queue = queue
+        self._checker = checker
+
+    def put(self, item: Any, timeout: Optional[float] = None) -> None:
+        if timeout is not None:
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise queue_module.Full
+                try:
+                    return self._queue.put(
+                        item, timeout=min(remaining, _POLL_SECONDS)
+                    )
+                except queue_module.Full:
+                    self._checker()
+            # unreachable
+        while True:
+            try:
+                return self._queue.put(item, timeout=_POLL_SECONDS)
+            except queue_module.Full:
+                self._checker()
+
+
+class _Mailbox:
+    """Demultiplexes one stage's outbound queue by message type.
+
+    Replies from workers (interval reports, state shipments, install acks,
+    final reports) interleave arbitrarily; consumers ask for a specific type
+    and everything else is stashed for later.  ``checker`` (when given) is
+    polled during blocking collects so a sibling-stage failure interrupts
+    the wait.
+    """
+
+    def __init__(
+        self,
+        out_queue: Any,
+        timeout_seconds: float,
+        checker: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self._queue = out_queue
+        self._timeout = timeout_seconds
+        self._checker = checker
+        self._pending: List[Any] = []
+
+    def _check(self, message: Any) -> Any:
+        if isinstance(message, WorkerError):
+            raise RuntimeError(
+                f"worker {message.worker_id} crashed:\n{message.message}"
+            )
+        return message
+
+    def _take_pending(self, message_type: Type, limit: Optional[int]) -> List[Any]:
+        matched: List[Any] = []
+        remaining: List[Any] = []
+        for message in self._pending:
+            if isinstance(message, message_type) and (
+                limit is None or len(matched) < limit
+            ):
+                matched.append(message)
+            else:
+                remaining.append(message)
+        self._pending = remaining
+        return matched
+
+    def collect(self, message_type: Type, expected: int) -> List[Any]:
+        """Block until ``expected`` messages of ``message_type`` arrived."""
+        matched = self._take_pending(message_type, expected)
+        deadline = time.monotonic() + self._timeout
+        while len(matched) < expected:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                raise RuntimeError(
+                    f"timed out waiting for {expected} {message_type.__name__} "
+                    f"replies (got {len(matched)})"
+                )
+            if self._checker is not None:
+                # The checker may pump the queue into the pending stash
+                # (check_errors), so re-examine it every pass.
+                self._checker()
+                matched.extend(
+                    self._take_pending(message_type, expected - len(matched))
+                )
+                if len(matched) >= expected:
+                    break
+            try:
+                message = self._check(
+                    self._queue.get(timeout=min(timeout, _POLL_SECONDS))
+                )
+            except queue_module.Empty:
+                continue
+            if isinstance(message, message_type):
+                matched.append(message)
+            else:
+                self._pending.append(message)
+        return matched
+
+    def drain(self, message_type: Type) -> List[Any]:
+        """Every already-available message of ``message_type`` (non-blocking)."""
+        self.check_errors()
+        return self._take_pending(message_type, None)
+
+    def check_errors(self) -> None:
+        """Pump the queue without blocking; raise if a worker crashed."""
+        while True:
+            try:
+                message = self._check(self._queue.get_nowait())
+            except queue_module.Empty:
+                break
+            self._pending.append(message)
+
+
+class _StageLoop(threading.Thread):
+    """The router thread of one stage: ingress → route → workers.
+
+    Consumes the stage's ingress queue (the source queue for stage 0, the
+    previous stage's egress queue otherwise), dispatches batches through the
+    stage's :class:`StreamRouter`, closes intervals when every upstream
+    producer's mark arrived (planning + live migration via the stage's
+    :class:`RuntimeController`), and finally collects the workers' reports.
+    """
+
+    def __init__(
+        self,
+        spec: StageSpec,
+        config: RuntimeConfig,
+        ingress: Any,
+        worker_queues: Sequence[Any],
+        out_queue: Any,
+        workers: Sequence[Any],
+        upstream_producers: int,
+        abort: _AbortFlag,
+        source_process: Optional[Any] = None,
+    ) -> None:
+        super().__init__(name=f"repro-stage-{spec.name}", daemon=True)
+        self.spec = spec
+        self.config = config
+        self.ingress = ingress
+        self.raw_worker_queues = list(worker_queues)
+        self.workers = list(workers)
+        self.upstream_producers = upstream_producers
+        self.abort = abort
+        #: Stage 0 also watches the source: no stage loop owns it, so a
+        #: source crash (unpicklable stream under spawn, OOM kill) would
+        #: otherwise leave the ingress poll waiting forever.  A clean exit
+        #: (code 0) means UpstreamDone is already flushed into the queue.
+        self.source_process = source_process
+        self._draining = False
+
+        self.mailbox = _Mailbox(
+            out_queue, config.join_timeout_seconds, checker=self._checkpoint
+        )
+        guarded = [
+            _AbortableQueue(queue, self._checkpoint) for queue in worker_queues
+        ]
+        self.router = StreamRouter(
+            spec.partitioner,
+            spec.logic,
+            guarded,
+            batch_size=config.batch_size,
+            shed_timeout_seconds=config.shed_timeout_seconds,
+        )
+        self.controller = RuntimeController(
+            spec.partitioner, self.router, guarded, self.mailbox
+        )
+        self._guarded_queues = guarded
+
+        # Filled by the loop, read by the coordinator after join().
+        self.interval_rows: List[Dict[str, Any]] = []
+        self.finals: List[FinalReport] = []
+        self.interval_reports: List[IntervalReport] = []
+        self.calibrated_us: Optional[float] = None
+        self.error: Optional[BaseException] = None
+
+    # -- watchdog ------------------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        """Raise instead of waiting on a run that can no longer finish."""
+        self.abort.check()
+        self.mailbox.check_errors()
+        source = self.source_process
+        if (
+            source is not None
+            and not source.is_alive()
+            and source.exitcode not in (None, 0)
+        ):
+            raise RuntimeError(
+                f"source process died unexpectedly (exit code {source.exitcode})"
+            )
+        if not self._draining:
+            for process in self.workers:
+                if not process.is_alive():
+                    raise RuntimeError(
+                        f"worker process {process.name} died unexpectedly "
+                        f"(exit code {process.exitcode})"
+                    )
+
+    def _pump(self) -> None:
+        """Between micro-batches: advance a migration hand-off, spot crashes."""
+        self.controller.poll()
+        self.mailbox.check_errors()
+
+    def _next_ingress(self) -> Any:
+        idle_since = time.monotonic()
+        while True:
+            self._checkpoint()
+            source = self.source_process
+            if (
+                source is not None
+                and not source.is_alive()
+                and time.monotonic() - idle_since > self.config.join_timeout_seconds
+            ):
+                # The source is gone and its remaining messages would have
+                # drained long ago — its end-of-stream mark was lost (e.g. a
+                # queue feeder pickling failure swallowed it).  Fail loudly
+                # instead of polling forever.
+                raise RuntimeError(
+                    "source process exited but its end-of-stream mark never "
+                    "arrived (message lost in the source queue?)"
+                )
+            try:
+                return self.ingress.get(timeout=_POLL_SECONDS)
+            except queue_module.Empty:
+                continue
+
+    # -- the loop ------------------------------------------------------------------
+
+    def run(self) -> None:
+        try:
+            self._loop()
+        except _Aborted:
+            pass
+        except BaseException as exc:
+            self.error = exc
+            self.abort.trip(self.spec.name, exc)
+
+    def _loop(self) -> None:
+        config = self.config
+        marks: Dict[int, int] = {}
+        producers_done = 0
+        self.router.begin_interval(0)
+        self._interval_started = time.monotonic()
+
+        while producers_done < self.upstream_producers:
+            message = self._next_ingress()
+            if isinstance(message, EmittedBatch):
+                self.router.dispatch(
+                    message.tuples,
+                    pump=self._pump,
+                    interval=message.interval,
+                    origin_at=message.origin_at,
+                )
+            elif isinstance(message, UpstreamMark):
+                arrived = marks.pop(message.interval, 0) + 1
+                if arrived < self.upstream_producers:
+                    marks[message.interval] = arrived
+                else:
+                    self._close_interval(message.interval)
+            elif isinstance(message, UpstreamDone):
+                producers_done += 1
+            else:  # pragma: no cover - protocol violation
+                raise TypeError(
+                    f"stage {self.spec.name!r} got unknown ingress {message!r}"
+                )
+
+        # A hand-off begun on the final interval must complete (install the
+        # shipped state, release the buffered tuples) before EOS.
+        self.controller.finish_pending()
+        self._draining = True
+        for task_queue in self._guarded_queues:
+            task_queue.put(EndOfStream(collect_state=config.collect_final_state))
+        self.finals = self.mailbox.collect(FinalReport, self.spec.parallelism)
+        self.interval_reports.extend(self.mailbox.drain(IntervalReport))
+
+    def _close_interval(self, interval: int) -> None:
+        # Finish any hand-off BEFORE the markers: tuples released by resume()
+        # belong to this interval and must precede its EndInterval in the
+        # FIFO queues to be counted in it.
+        self.controller.finish_pending()
+        for task_queue in self._guarded_queues:
+            task_queue.put(EndInterval(interval=interval))
+        if self.config.calibrate_pacing and interval == 0:
+            self._calibrate()
+        # The closing interval's own accounting bucket: early batches of the
+        # next interval (fast upstream producers) are already parked in
+        # their own bucket and do not pollute this one.
+        account = self.router.pop_interval(interval)
+        migration = self.controller.end_interval(
+            self._interval_stats(interval, account.freqs)
+        )
+        now = time.monotonic()
+        self.interval_rows.append(
+            {
+                "interval": interval,
+                "offered_tuples": sum(account.offered_tuples.values()),
+                "offered_cost": dict(account.offered_cost),
+                "shed": dict(account.shed),
+                "elapsed": now - self._interval_started,
+                "migration": migration,
+            }
+        )
+        self._interval_started = now
+        self.router.begin_interval(interval + 1)
+
+    def _calibrate(self) -> None:
+        """Measure interval 0's unpaced processing and install the pacing.
+
+        Blocking: waits for every worker's interval-0 report (a one-off
+        barrier), then ships the new service time through the FIFO queues —
+        any interval-1 batches a fast upstream producer already queued run
+        unpaced, everything after the command is paced.  The drain time is the
+        workers' summed *busy* seconds, not the stage's wall-clock interval:
+        wall time would fold in upstream pipeline fill (inflating pacing
+        progressively down a chain) and, under an open-loop source, the
+        offer schedule itself (pacing would then cap capacity below the
+        offered rate and the run could never keep up).
+        """
+        from repro.runtime.messages import SetServiceTime
+
+        reports = self.mailbox.collect(IntervalReport, self.spec.parallelism)
+        self.interval_reports.extend(reports)
+        cost = sum(report.cost for report in reports)
+        busy = sum(report.busy_seconds for report in reports)
+        service_us = calibrated_service_time_us(
+            cost,
+            busy / self.spec.parallelism,
+            self.spec.parallelism,
+            self.config.calibration_headroom,
+        )
+        if service_us > 0:
+            for task_queue in self._guarded_queues:
+                task_queue.put(SetServiceTime(service_time_us=service_us))
+            self.calibrated_us = service_us
+
+    def _interval_stats(
+        self, interval: int, freqs: Dict[Key, float]
+    ) -> IntervalStats:
+        stats = IntervalStats(interval)
+        tuple_cost = self.spec.logic.tuple_cost
+        state_delta = self.spec.logic.state_delta
+        stats.record_bulk(
+            (key, count, count * tuple_cost(key), count * state_delta(key))
+            for key, count in freqs.items()
+            if count > 0
+        )
+        return stats
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def aggregate(self, wall_seconds: float) -> RuntimeResult:
+        """Fold the loop's rows and the workers' reports into a RuntimeResult."""
+        per_interval: Dict[int, List[IntervalReport]] = {}
+        for report in self.interval_reports + self.mailbox.drain(IntervalReport):
+            per_interval.setdefault(report.interval, []).append(report)
+
+        latency = LatencyHistogram()
+        e2e = LatencyHistogram()
+        final_reports: Dict[int, FinalReport] = {}
+        final_state: Dict[Key, List[Any]] = {}
+        processed_total = 0
+        tail = LatencyHistogram()
+        for report in self.finals:
+            final_reports[report.worker_id] = report
+            latency.merge(LatencyHistogram.from_dict(report.histogram))
+            if report.e2e_histogram:
+                e2e.merge(LatencyHistogram.from_dict(report.e2e_histogram))
+            if report.tail_histogram:
+                tail.merge(LatencyHistogram.from_dict(report.tail_histogram))
+            processed_total += report.processed
+            final_state.update(report.final_state)
+
+        interval_latency: Dict[int, LatencyHistogram] = {}
+        for interval, reports in per_interval.items():
+            merged = LatencyHistogram()
+            for report in reports:
+                if report.histogram:
+                    merged.merge(LatencyHistogram.from_dict(report.histogram))
+            interval_latency[interval] = merged
+        # Latency recorded after the last marker (e.g. a final migration's
+        # released tuples) is folded into the last interval so the deltas
+        # still sum to the lifetime histogram.
+        if tail.total and self.interval_rows:
+            last = self.interval_rows[-1]["interval"]
+            interval_latency.setdefault(last, LatencyHistogram()).merge(tail)
+
+        metrics = MetricsCollector(label=self.spec.name)
+        for row in self.interval_rows:
+            interval = row["interval"]
+            reports = per_interval.get(interval, [])
+            processed = sum(report.processed for report in reports)
+            latency_sum_us = sum(report.latency_us_sum for report in reports)
+            elapsed = row["elapsed"]
+            migration: Optional[LiveMigrationReport] = row["migration"]
+            offered_cost: Dict[int, float] = row["offered_cost"]
+            shed_map: Dict[int, float] = row["shed"]
+            histogram = interval_latency.get(interval)
+            metrics.record(
+                IntervalMetrics(
+                    interval=interval,
+                    offered_tuples=row["offered_tuples"],
+                    processed_tuples=float(processed),
+                    shed_tuples=sum(shed_map.values()),
+                    throughput=float(processed) / elapsed if elapsed > 0 else 0.0,
+                    latency_ms=(
+                        latency_sum_us / processed / 1000.0 if processed else 0.0
+                    ),
+                    latency_p50_ms=(
+                        histogram.p50_us / 1000.0 if histogram and histogram.total else 0.0
+                    ),
+                    latency_p99_ms=(
+                        histogram.p99_us / 1000.0 if histogram and histogram.total else 0.0
+                    ),
+                    skewness=max_skewness(offered_cost),
+                    max_theta=max_balance_indicator(offered_cost),
+                    migrated_state=migration.moved_state if migration else 0.0,
+                    migration_fraction=(
+                        migration.migration_fraction if migration else 0.0
+                    ),
+                    migration_seconds=migration.pause_seconds if migration else 0.0,
+                    generation_time=migration.generation_time if migration else 0.0,
+                    routing_table_size=migration.table_size if migration else 0,
+                    rebalanced=migration is not None,
+                    num_tasks=self.spec.parallelism,
+                    per_task_load=offered_cost,
+                    per_task_shed=shed_map,
+                )
+            )
+
+        offered_total = int(
+            sum(row["offered_tuples"] for row in self.interval_rows)
+        )
+        return RuntimeResult(
+            label=self.spec.name,
+            metrics=metrics,
+            latency=latency,
+            tuples_offered=offered_total,
+            tuples_processed=processed_total,
+            tuples_shed=self.router.shed_ledger.total,
+            wall_seconds=wall_seconds,
+            migrations=list(self.controller.migrations),
+            final_reports=final_reports,
+            final_state=final_state,
+            shed_by_task=self.router.shed_ledger.by_task(),
+            interval_latency=interval_latency,
+            e2e_latency=e2e,
+            calibrated_service_time_us=self.calibrated_us,
+        )
+
+
+class TopologyRuntime:
+    """Spawns the source, every stage's workers, and runs the dataflow."""
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        config: Optional[RuntimeConfig] = None,
+        *,
+        label: str = "",
+    ) -> None:
+        self.spec = spec
+        self.config = config if config is not None else RuntimeConfig()
+        self.label = label or spec.name
+
+    def run(self, stream: TupleStream) -> TopologyResult:
+        """Execute the stream through the chain; blocks until fully drained.
+
+        ``stream`` is an iterable of per-interval ``(key, value)`` tuple
+        lists; it is materialised and handed to the source process, which
+        offers it closed-loop or at ``config.offered_rate`` tuples/second.
+        """
+        config = self.config
+        interval_lists = [list(batch) for batch in stream]
+
+        method = config.start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        context = multiprocessing.get_context(method)
+        abort = _AbortFlag()
+
+        stages = self.spec.stages
+        source_queue = context.Queue(maxsize=max(2, config.queue_capacity))
+        ingresses = [source_queue]
+        # Bounded inter-stage egress queues: sized by the downstream
+        # consumer's appetite, they are the links through which backpressure
+        # (and chained starvation) propagates upstream.
+        for _ in range(len(stages) - 1):
+            ingresses.append(context.Queue(maxsize=max(2, config.queue_capacity)))
+
+        source = context.Process(
+            target=source_main,
+            args=(
+                interval_lists,
+                source_queue,
+                config.batch_size,
+                config.offered_rate,
+            ),
+            daemon=True,
+            name="repro-source",
+        )
+
+        initial_service_us = 0.0 if config.calibrate_pacing else config.service_time_us
+        all_workers: List[Any] = []
+        loops: List[_StageLoop] = []
+        for index, stage in enumerate(stages):
+            worker_queues = [
+                context.Queue(maxsize=config.queue_capacity)
+                for _ in range(stage.parallelism)
+            ]
+            out_queue = context.Queue()
+            egress = ingresses[index + 1] if index + 1 < len(ingresses) else None
+            workers = [
+                context.Process(
+                    target=worker_main,
+                    args=(
+                        worker_id,
+                        stage.logic,
+                        worker_queues[worker_id],
+                        out_queue,
+                        initial_service_us,
+                        egress,
+                        stage.key_mapper,
+                    ),
+                    daemon=True,
+                    name=f"repro-{stage.name}-{worker_id}",
+                )
+                for worker_id in range(stage.parallelism)
+            ]
+            all_workers.extend(workers)
+            loops.append(
+                _StageLoop(
+                    stage,
+                    config,
+                    ingresses[index],
+                    worker_queues,
+                    out_queue,
+                    workers,
+                    upstream_producers=(
+                        1 if index == 0 else stages[index - 1].parallelism
+                    ),
+                    abort=abort,
+                    source_process=source if index == 0 else None,
+                )
+            )
+
+        wall_seconds = 0.0
+        try:
+            for process in all_workers:
+                process.start()
+            source.start()
+            # Stamp after the processes exist: spawn/fork overhead must not
+            # deflate measured tuples/sec (trajectory runs compare commits).
+            wall_start = time.monotonic()
+            for loop in loops:
+                loop.start()
+            for loop in loops:
+                loop.join()
+            wall_seconds = time.monotonic() - wall_start
+        finally:
+            self._shutdown([source], force=abort.tripped)
+            self._shutdown(all_workers, force=abort.tripped)
+
+        if abort.tripped:
+            raise RuntimeError(
+                f"topology {self.spec.name!r} aborted — {abort.error}"
+            )
+
+        stage_results = {
+            loop.spec.name: loop.aggregate(wall_seconds) for loop in loops
+        }
+        return TopologyResult(
+            label=self.label,
+            stages=stage_results,
+            wall_seconds=wall_seconds,
+            tuples_offered=stage_results[stages[0].name].tuples_offered,
+        )
+
+    @staticmethod
+    def _shutdown(processes: List[Any], *, force: bool = False) -> None:
+        deadline = time.monotonic() + (0.5 if force else 10.0)
+        for process in processes:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)

@@ -1,10 +1,21 @@
 """The worker process loop: one operator task instance per process.
 
 A worker hosts exactly one :class:`~repro.engine.operator.Task` (one parallel
-instance of the operator under study) and consumes its inbound queue in FIFO
-order: tuple batches, interval markers and migration commands.  Per-tuple
-latency is measured against the batch's enqueue stamp and recorded into a
-:class:`~repro.runtime.histogram.LatencyHistogram`.
+instance of one topology stage) and consumes its inbound queue in FIFO order:
+tuple batches, interval markers and migration commands.  Per-tuple latency is
+measured against the batch's enqueue stamp and recorded into a
+:class:`~repro.runtime.histogram.LatencyHistogram`; the interval *delta* of
+the histogram ships with every :class:`~repro.runtime.messages.IntervalReport`
+so latency-over-time plots come from measured buckets, not just means.
+
+**Emission.**  When the stage has a downstream stage, the worker forwards the
+operator's emitted tuples — re-keyed by the stage's key mapper — onto the
+shared bounded *egress* queue as :class:`~repro.runtime.messages.EmittedBatch`
+messages, and propagates interval/end-of-stream markers so the downstream
+router can close intervals.  The bounded egress queue is what chains
+backpressure: a slow downstream stage blocks these puts, the worker stops
+consuming its inbound queue, and the stall propagates up to the source —
+exactly the chained-starvation effect of the paper's Fig. 16.
 
 **Service pacing.**  The paper's evaluation runs every task at the CPU
 saturation point, so the quantity of interest — throughput loss under skew —
@@ -14,19 +25,21 @@ The worker therefore emulates a fixed capacity: each batch owes
 whatever the real CPU work did not consume.  Because paced workers spend most
 of their budget sleeping, N workers genuinely overlap even on a host with
 fewer than N cores, and measured throughput degrades with imbalance exactly
-as it would on dedicated hardware.
+as it would on dedicated hardware.  A :class:`SetServiceTime` command adjusts
+the pacing mid-run (adaptive calibration).
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from typing import Any
+from typing import Any, Callable, Hashable, List, Optional, Tuple
 
 from repro.engine.operator import OperatorLogic, Task
 from repro.engine.tuples import StreamTuple
 from repro.runtime.histogram import LatencyHistogram
 from repro.runtime.messages import (
+    EmittedBatch,
     EndInterval,
     EndOfStream,
     ExtractKeys,
@@ -34,12 +47,18 @@ from repro.runtime.messages import (
     InstallAck,
     InstallState,
     IntervalReport,
+    SetServiceTime,
     StateShipment,
     TupleBatch,
+    UpstreamDone,
+    UpstreamMark,
     WorkerError,
 )
 
 __all__ = ["worker_main"]
+
+Key = Hashable
+KeyMapper = Callable[[Key], Key]
 
 
 def worker_main(
@@ -48,10 +67,14 @@ def worker_main(
     in_queue: Any,
     out_queue: Any,
     service_time_us: float,
+    egress: Any = None,
+    key_mapper: Optional[KeyMapper] = None,
 ) -> None:
     """Entry point of one worker process (must stay module-level picklable)."""
     try:
-        _worker_loop(worker_id, logic, in_queue, out_queue, service_time_us)
+        _worker_loop(
+            worker_id, logic, in_queue, out_queue, service_time_us, egress, key_mapper
+        )
     except Exception:  # pragma: no cover - crash path, surfaced by coordinator
         out_queue.put(WorkerError(worker_id=worker_id, message=traceback.format_exc()))
 
@@ -62,18 +85,36 @@ def _worker_loop(
     in_queue: Any,
     out_queue: Any,
     service_time_us: float,
+    egress: Any,
+    key_mapper: Optional[KeyMapper],
 ) -> None:
     task = Task(worker_id, logic)
     histogram = LatencyHistogram()
+    e2e_histogram = LatencyHistogram()
     service_time_s = max(service_time_us, 0.0) / 1e6
+    #: The final stage (no egress) measures end-to-end latency too.
+    final_stage = egress is None
 
     busy_seconds = 0.0
-    # Deltas since the last EndInterval marker (exact per-interval accounting:
-    # the FIFO inbound queue orders the marker after the interval's batches).
-    mark_processed = 0
-    mark_cost = 0.0
-    mark_busy = 0.0
-    mark_latency_us = 0.0
+    # Interval watermark: in a pipelined topology, upstream workers progress
+    # through intervals at different speeds, so a batch tagged with an older
+    # interval can arrive after a newer one (or after the older interval's
+    # marker already expired state).  Late tuples are processed at the
+    # watermark — the windowed-state interval tags stay monotone per worker,
+    # as `KeyedState` requires.
+    floor_interval = 0
+    # Per-interval accounting deltas, bucketed by the batches' (clamped)
+    # interval tag: a fast upstream producer can deliver next-interval
+    # batches before this interval's EndInterval marker, and those must not
+    # inflate the closing interval's report.  ``[processed, cost, busy,
+    # latency_us_sum, histogram]`` per interval.
+    marks: dict = {}
+
+    def _mark(interval: int) -> list:
+        bucket = marks.get(interval)
+        if bucket is None:
+            bucket = marks[interval] = [0, 0.0, 0.0, 0.0, LatencyHistogram()]
+        return bucket
 
     while True:
         message = in_queue.get()
@@ -82,8 +123,23 @@ def _worker_loop(
             started = time.monotonic()
             cost_before = task.metrics.cost_processed
             interval = message.interval
-            for key, value in message.tuples:
-                task.process(StreamTuple(key=key, value=value, interval=interval))
+            if interval < floor_interval:
+                interval = floor_interval
+            else:
+                floor_interval = interval
+            outputs: List[StreamTuple] = []
+            if egress is None:
+                for key, value in message.tuples:
+                    task.process(
+                        StreamTuple(key=key, value=value, interval=interval)
+                    )
+            else:
+                for key, value in message.tuples:
+                    outputs.extend(
+                        task.process(
+                            StreamTuple(key=key, value=value, interval=interval)
+                        )
+                    )
             cost = task.metrics.cost_processed - cost_before
             elapsed = time.monotonic() - started
             owed = cost * service_time_s
@@ -95,28 +151,66 @@ def _worker_loop(
             latency_us = max(done - message.sent_at, 0.0) * 1e6
             count = len(message.tuples)
             histogram.record(latency_us, count)
-            mark_processed += count
-            mark_cost += cost
-            mark_busy += busy
-            mark_latency_us += latency_us * count
+            if final_stage:
+                origin = message.origin_at or message.sent_at
+                e2e_histogram.record(max(done - origin, 0.0) * 1e6, count)
+            bucket = _mark(interval)
+            bucket[0] += count
+            bucket[1] += cost
+            bucket[2] += busy
+            bucket[3] += latency_us * count
+            bucket[4].record(latency_us, count)
+            if egress is not None and outputs:
+                emitted: List[Tuple[Key, Any]] = (
+                    [(tup.key, tup.value) for tup in outputs]
+                    if key_mapper is None
+                    else [(key_mapper(tup.key), tup.value) for tup in outputs]
+                )
+                egress.put(
+                    EmittedBatch(
+                        interval=interval,
+                        origin_at=message.origin_at or message.sent_at,
+                        tuples=emitted,
+                    )
+                )
 
         elif isinstance(message, EndInterval):
+            # State up to this interval is expired; later stragglers process
+            # at the next interval.
+            floor_interval = max(floor_interval, message.interval + 1)
             if task.has_open_interval:
-                task.end_interval()  # expire windowed state past the horizon
+                # Expire at the *marker's* interval, not the watermark: a
+                # fast upstream producer may already have delivered tuples
+                # of a later interval, whose window must not shrink early.
+                task.end_interval(message.interval)
+            # Fold every bucket up to the marker into the report (clamping
+            # can skip intervals, leaving older sparse buckets behind);
+            # next-interval buckets stay open.
+            closed = [0, 0.0, 0.0, 0.0, LatencyHistogram()]
+            for interval in sorted(marks):
+                if interval > message.interval:
+                    break
+                bucket = marks.pop(interval)
+                closed[0] += bucket[0]
+                closed[1] += bucket[1]
+                closed[2] += bucket[2]
+                closed[3] += bucket[3]
+                closed[4].merge(bucket[4])
             out_queue.put(
                 IntervalReport(
                     worker_id=worker_id,
                     interval=message.interval,
-                    processed=mark_processed,
-                    cost=mark_cost,
-                    busy_seconds=mark_busy,
-                    latency_us_sum=mark_latency_us,
+                    processed=closed[0],
+                    cost=closed[1],
+                    busy_seconds=closed[2],
+                    latency_us_sum=closed[3],
+                    histogram=closed[4].to_dict(),
                 )
             )
-            mark_processed = 0
-            mark_cost = 0.0
-            mark_busy = 0.0
-            mark_latency_us = 0.0
+            if egress is not None:
+                egress.put(
+                    UpstreamMark(producer_id=worker_id, interval=message.interval)
+                )
 
         elif isinstance(message, ExtractKeys):
             entries = [(key, task.extract_key(key)) for key in message.keys]
@@ -132,9 +226,17 @@ def _worker_loop(
         elif isinstance(message, InstallState):
             for key, snapshot in message.entries:
                 task.install_key(key, snapshot)
+                # The source worker's watermark may be ahead of ours; keep
+                # the installed keys' interval tags monotone here too.
+                for bucket_interval, _payload, _size in snapshot:
+                    if bucket_interval > floor_interval:
+                        floor_interval = bucket_interval
             out_queue.put(
                 InstallAck(worker_id=worker_id, installed_keys=len(message.entries))
             )
+
+        elif isinstance(message, SetServiceTime):
+            service_time_s = max(message.service_time_us, 0.0) / 1e6
 
         elif isinstance(message, EndOfStream):
             final_state = {}
@@ -142,6 +244,11 @@ def _worker_loop(
                 final_state = {
                     key: task.state.payloads(key) for key in task.state.keys()
                 }
+            if egress is not None:
+                egress.put(UpstreamDone(producer_id=worker_id))
+            tail = LatencyHistogram()
+            for bucket in marks.values():
+                tail.merge(bucket[4])
             out_queue.put(
                 FinalReport(
                     worker_id=worker_id,
@@ -154,6 +261,9 @@ def _worker_loop(
                     state_size=task.state_size,
                     state_keys=len(task.state),
                     final_state=final_state,
+                    tail_histogram=tail.to_dict(),
+                    e2e_histogram=e2e_histogram.to_dict() if final_stage else {},
+                    service_time_us=service_time_s * 1e6,
                 )
             )
             return

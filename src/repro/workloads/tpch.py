@@ -22,7 +22,41 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["TPCHDataset", "generate_tpch", "TPCHStreamWorkload"]
+__all__ = [
+    "TPCHDataset",
+    "ForeignKeyLookup",
+    "draw_lineitem_revenue",
+    "generate_tpch",
+    "TPCHStreamWorkload",
+    "TPCHLineitemTrace",
+]
+
+
+class ForeignKeyLookup:
+    """A picklable foreign-key mapping with hash-spread fallback.
+
+    Carries *only* the mapping it needs — unlike a bound
+    :class:`TPCHDataset` method, which would drag the whole dataset
+    (lineitems included) into every worker process that pickles it.
+    Unknown keys spread over ``modulus`` deterministically, matching the
+    dataset's ``*_of_*`` helpers.
+    """
+
+    __slots__ = ("mapping", "modulus")
+
+    def __init__(self, mapping: Dict[int, int], modulus: int) -> None:
+        self.mapping = mapping
+        self.modulus = max(1, int(modulus))
+
+    def __call__(self, key: int) -> int:
+        value = self.mapping.get(key)
+        return value if value is not None else key % self.modulus
+
+    def __getstate__(self):
+        return (self.mapping, self.modulus)
+
+    def __setstate__(self, state):
+        self.mapping, self.modulus = state
 
 #: The 5 TPC-H regions and 25 nations (name lists shortened to what Q5 needs).
 _REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
@@ -33,6 +67,16 @@ def _zipf_weights(size: int, skew: float) -> np.ndarray:
     ranks = np.arange(1, size + 1, dtype=np.float64)
     weights = ranks ** (-skew)
     return weights / weights.sum()
+
+
+def draw_lineitem_revenue(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Lineitem revenue samples, ``extendedprice × (1 − discount)``.
+
+    The DBGen-style price/discount ranges used by :func:`generate_tpch`,
+    shared so synthetic streams price their tuples identically."""
+    prices = rng.uniform(900.0, 105_000.0, size=size)
+    discounts = rng.uniform(0.0, 0.1, size=size)
+    return prices * (1.0 - discounts)
 
 
 @dataclass
@@ -148,12 +192,9 @@ def generate_tpch(
     lineitem_orders = rng.choice(num_orders, size=num_lineitems, p=order_weights)
     supplier_weights = _zipf_weights(num_suppliers, fk_skew)
     lineitem_suppliers = rng.choice(num_suppliers, size=num_lineitems, p=supplier_weights)
-    prices = rng.uniform(900.0, 105_000.0, size=num_lineitems)
-    discounts = rng.uniform(0.0, 0.1, size=num_lineitems)
-    for order, supplier, price, discount in zip(
-        lineitem_orders, lineitem_suppliers, prices, discounts
-    ):
-        dataset.lineitems.append((int(order), int(supplier), float(price * (1.0 - discount))))
+    revenue = draw_lineitem_revenue(rng, num_lineitems)
+    for order, supplier, amount in zip(lineitem_orders, lineitem_suppliers, revenue):
+        dataset.lineitems.append((int(order), int(supplier), float(amount)))
 
     return dataset
 
@@ -248,3 +289,56 @@ class TPCHStreamWorkload:
             if len(result) >= intervals:
                 break
         return result
+
+
+class TPCHLineitemTrace:
+    """Replays the generated lineitem table as a per-interval tuple trace.
+
+    Where :class:`TPCHStreamWorkload` *synthesises* per-interval key
+    frequencies, the trace replays the concrete rows DBGen-style generation
+    produced — ``(order key, revenue)`` tuples in arrival order, revenue
+    being ``extendedprice × (1 − discount)`` — the open-loop "replayed
+    trace" source of the runtime benchmarks.  The foreign-key Zipf skew of
+    the generator (z = 0.8 in the paper) is therefore baked into the key
+    stream.  A trace shorter than the requested volume wraps around.
+
+    Parameters
+    ----------
+    dataset:
+        The TPC-H slice whose ``lineitems`` are replayed.
+    tuples_per_interval:
+        Lineitems per interval.
+    intervals:
+        Number of intervals to materialise.
+    """
+
+    def __init__(
+        self,
+        dataset: TPCHDataset,
+        tuples_per_interval: int = 50_000,
+        intervals: int = 10,
+    ) -> None:
+        if tuples_per_interval <= 0:
+            raise ValueError("tuples_per_interval must be positive")
+        if intervals <= 0:
+            raise ValueError("intervals must be positive")
+        if not dataset.lineitems:
+            raise ValueError("dataset has no lineitems to replay")
+        self.dataset = dataset
+        self.tuples_per_interval = int(tuples_per_interval)
+        self.intervals = int(intervals)
+
+    def take(self, intervals: Optional[int] = None) -> List[List[Tuple[int, float]]]:
+        """Materialise ``intervals`` (default: all configured) tuple lists."""
+        count = self.intervals if intervals is None else int(intervals)
+        rows = self.dataset.lineitems
+        trace: List[List[Tuple[int, float]]] = []
+        cursor = 0
+        for _ in range(count):
+            interval: List[Tuple[int, float]] = []
+            for _ in range(self.tuples_per_interval):
+                order_key, _supplier, revenue = rows[cursor]
+                interval.append((order_key, revenue))
+                cursor = (cursor + 1) % len(rows)
+            trace.append(interval)
+        return trace

@@ -1,6 +1,8 @@
 """RuntimeSpec serialisation, run_bench persistence and the `repro bench` CLI."""
 
+import importlib.util
 import json
+from pathlib import Path
 
 import pytest
 
@@ -9,10 +11,13 @@ from repro.experiments.config import get_scale
 from repro.experiments.store import ResultsStore
 from repro.runtime.bench import (
     BENCH_DEFAULT_OVERRIDES,
+    BENCH_TOPOLOGY_WORKLOADS,
     BENCH_WORKLOADS,
+    Q5_CHAIN_STAGES,
     RuntimeSpec,
     run_bench,
 )
+from repro.runtime.topology import TopologyResult
 
 #: A bench configuration small enough for tier-1 (two strategies, ~20k tuples).
 TINY = dict(
@@ -21,6 +26,15 @@ TINY = dict(
     parallelism=2,
     service_time_us=10.0,
 )
+
+
+def _load_validate_bench():
+    """Import scripts/validate_bench.py (not a package) by file path."""
+    path = Path(__file__).resolve().parents[2] / "scripts" / "validate_bench.py"
+    spec = importlib.util.spec_from_file_location("validate_bench", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 class TestRuntimeSpec:
@@ -79,6 +93,53 @@ class TestRuntimeSpec:
             key, _ = stream[0][0]
             assert logic.tuple_cost(key) > 0
 
+    def test_every_topology_workload_builds_a_stream_and_topology(self):
+        scale = get_scale("tiny").scaled(
+            num_keys=50, tuples_per_interval=200, sim_intervals=2
+        )
+        spec = RuntimeSpec(workload="tpch_q5_chain", parallelism=2, scale="tiny")
+        for name, workload in BENCH_TOPOLOGY_WORKLOADS.items():
+            stream = workload.build_stream(scale, 0)
+            assert len(stream) == 2, name
+            assert all(len(interval) > 0 for interval in stream), name
+
+            def build(strategy, parallelism):
+                from repro.baselines.hash_only import HashPartitioner
+
+                return HashPartitioner(parallelism, seed=0)
+
+            topology = workload.build_topology(scale, spec, "storm", build)
+            assert topology.stage_names() == list(workload.stages)
+
+    def test_stage_parallelism_validation(self):
+        spec = RuntimeSpec(
+            workload="tpch_q5_chain",
+            parallelism=2,
+            stage_parallelism={"order-join": 4},
+        )
+        assert spec.stage_parallelism == {"order-join": 4}
+        with pytest.raises(KeyError, match="bogus-stage"):
+            RuntimeSpec(
+                workload="tpch_q5_chain", stage_parallelism={"bogus-stage": 2}
+            )
+        with pytest.raises(ValueError, match="positive"):
+            RuntimeSpec(
+                workload="tpch_q5_chain", stage_parallelism={"order-join": 0}
+            )
+        with pytest.raises(ValueError, match="topology"):
+            RuntimeSpec(workload="wordcount", stage_parallelism={"order-join": 2})
+
+    def test_offered_rate_validation_and_round_trip(self):
+        with pytest.raises(ValueError):
+            RuntimeSpec(offered_rate=-1.0)
+        spec = RuntimeSpec(
+            workload="tpch_q5_chain",
+            offered_rate=5_000.0,
+            calibrate_pacing=True,
+            stage_parallelism={"revenue-agg": 1},
+        )
+        assert RuntimeSpec.from_dict(spec.to_dict()) == spec
+
 
 class TestRunBench:
     @pytest.fixture(scope="class")
@@ -125,6 +186,73 @@ class TestRunBench:
         assert set(payload["per_strategy"]) == {"storm", "mixed"}
 
 
+class TestChainBench:
+    """run_bench on the multi-stage Q5 topology (structure, not speed)."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("chain-bench")
+        spec = RuntimeSpec(
+            workload="tpch_q5_chain",
+            strategies=["storm", "mixed"],
+            **TINY,
+        )
+        store = ResultsStore(root / "results")
+        run, results = run_bench(
+            spec, store=store, output_path=root / "BENCH_runtime.json"
+        )
+        return spec, store, run, results, root
+
+    def test_rows_cover_chain_and_every_stage(self, outcome):
+        _, _, run, results, _ = outcome
+        for name in ("storm", "mixed"):
+            stages = [
+                row["stage"] for row in run.result.rows if row["strategy"] == name
+            ]
+            assert stages == ["chain", *Q5_CHAIN_STAGES]
+        for row in run.result.rows:
+            assert row["tuples"] > 0
+            assert row["tuples_per_second"] > 0
+            assert row["latency_p99_ms"] >= row["latency_p50_ms"] > 0
+        assert all(
+            isinstance(result, TopologyResult) for result in results.values()
+        )
+
+    def test_chain_conserves_tuples_across_stages(self, outcome):
+        _, _, _, results, _ = outcome
+        total = TINY["overrides"]["tuples_per_interval"] * TINY["overrides"]["sim_intervals"]
+        for result in results.values():
+            assert result.tuples_offered == total
+            for stage in result.stages.values():
+                assert stage.tuples_processed == total
+
+    def test_revenue_lands_in_the_nation_domain(self, outcome):
+        _, _, _, results, _ = outcome
+        # The final stage is keyed by nation (25 keys) after two re-keyings.
+        final = results["storm"].final
+        total_keys = sum(
+            report.state_keys for report in final.final_reports.values()
+        )
+        assert 0 < total_keys <= 25
+
+    def test_report_passes_the_ci_schema_validation(self, outcome):
+        _, _, _, _, root = outcome
+        validate_bench = _load_validate_bench()
+        payload = json.loads((root / "BENCH_runtime.json").read_text())
+        assert validate_bench.validate_report(payload) == 8  # 2 strategies × 4 rows
+
+    def test_per_stage_artifacts_are_stored(self, outcome):
+        _, store, run, _, _ = outcome
+        names = store.artifact_names(run.metadata.run_id)
+        for strategy in ("storm", "mixed"):
+            for stage in Q5_CHAIN_STAGES:
+                assert f"{strategy}.{stage}.metrics" in names
+                assert f"{strategy}.{stage}.latency" in names
+            assert f"{strategy}.e2e_latency" in names
+        e2e = store.load_artifact(run.metadata.run_id, "storm.e2e_latency")
+        assert e2e.total == 10_000
+
+
 class TestBenchCli:
     def test_bench_command_end_to_end(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)
@@ -168,6 +296,41 @@ class TestBenchCli:
     def test_bench_rejects_unknown_strategy_before_running(self):
         with pytest.raises(SystemExit, match="bogus"):
             main(["bench", "wordcount", "--strategies", "storm,bogus"])
+
+    def test_bench_rejects_malformed_parallelism(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "wordcount", "--parallelism", "0"])
+        with pytest.raises(SystemExit):
+            main(["bench", "wordcount", "--parallelism", "-3"])
+        with pytest.raises(SystemExit):
+            main(["bench", "wordcount", "--parallelism", "two"])
+
+    def test_bench_rejects_malformed_stage_parallelism(self):
+        # Missing '=', non-integer count, non-positive count, unknown stage,
+        # and stage overrides on a single-stage workload — all must exit
+        # cleanly before any worker process is spawned.
+        with pytest.raises(SystemExit, match="STAGE=COUNT"):
+            main(["bench", "tpch_q5_chain", "--stage-parallelism", "order-join"])
+        with pytest.raises(SystemExit, match="integer"):
+            main(
+                ["bench", "tpch_q5_chain", "--stage-parallelism", "order-join=x"]
+            )
+        with pytest.raises(SystemExit, match="positive"):
+            main(
+                ["bench", "tpch_q5_chain", "--stage-parallelism", "order-join=0"]
+            )
+        with pytest.raises(SystemExit, match="unknown stage"):
+            main(["bench", "tpch_q5_chain", "--stage-parallelism", "bogus=2"])
+        with pytest.raises(SystemExit, match="topology"):
+            main(["bench", "wordcount", "--stage-parallelism", "order-join=2"])
+
+    def test_bench_rejects_malformed_service_time_and_rate(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "wordcount", "--service-time-us", "fast"])
+        with pytest.raises(SystemExit):
+            main(["bench", "wordcount", "--service-time-us", "-5"])
+        with pytest.raises(SystemExit):
+            main(["bench", "wordcount", "--rate", "-100"])
 
     def test_stored_bench_run_is_rerunnable(self, tmp_path, capsys):
         spec = RuntimeSpec(workload="wordcount", strategies=["storm"], **TINY)

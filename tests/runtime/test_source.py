@@ -1,0 +1,80 @@
+"""The source producer protocol and its open-loop pacing."""
+
+import time
+
+import pytest
+
+from repro.runtime.messages import EmittedBatch, UpstreamDone, UpstreamMark
+from repro.runtime.source import SOURCE_PRODUCER_ID, source_main
+
+
+class _ListQueue:
+    """Queue stub capturing puts in order (source_main only needs .put)."""
+
+    def __init__(self):
+        self.items = []
+
+    def put(self, item):
+        self.items.append(item)
+
+
+def _run_source(stream, batch_size=3, rate=None):
+    queue = _ListQueue()
+    source_main(stream, queue, batch_size, rate)
+    return queue.items
+
+
+class TestProducerProtocol:
+    def test_batches_then_mark_per_interval_then_done(self):
+        stream = [[("a", 1)] * 5, [("b", 2)] * 2]
+        messages = _run_source(stream, batch_size=3)
+        kinds = [type(message).__name__ for message in messages]
+        assert kinds == [
+            "EmittedBatch",  # a ×3
+            "EmittedBatch",  # a ×2
+            "UpstreamMark",  # interval 0
+            "EmittedBatch",  # b ×2
+            "UpstreamMark",  # interval 1
+            "UpstreamDone",
+        ]
+        marks = [m for m in messages if isinstance(m, UpstreamMark)]
+        assert [m.interval for m in marks] == [0, 1]
+        assert all(m.producer_id == SOURCE_PRODUCER_ID for m in marks)
+        assert isinstance(messages[-1], UpstreamDone)
+
+    def test_batches_carry_interval_and_full_payload(self):
+        stream = [[(k, None) for k in range(7)]]
+        messages = _run_source(stream, batch_size=4)
+        batches = [m for m in messages if isinstance(m, EmittedBatch)]
+        assert [len(b.tuples) for b in batches] == [4, 3]
+        assert all(b.interval == 0 for b in batches)
+        replayed = [key for b in batches for key, _ in b.tuples]
+        assert replayed == list(range(7))
+
+    def test_empty_stream_emits_only_done(self):
+        messages = _run_source([])
+        assert len(messages) == 1
+        assert isinstance(messages[0], UpstreamDone)
+
+
+class TestOpenLoopPacing:
+    def test_origin_stamps_follow_the_offer_schedule(self):
+        # 30 tuples at 300/s in batches of 10: offers scheduled 33 ms apart.
+        stream = [[("k", None)] * 30]
+        started = time.monotonic()
+        messages = _run_source(stream, batch_size=10, rate=300.0)
+        elapsed = time.monotonic() - started
+        batches = [m for m in messages if isinstance(m, EmittedBatch)]
+        assert len(batches) == 3
+        gaps = [b.origin_at - a.origin_at for a, b in zip(batches, batches[1:])]
+        for gap in gaps:
+            assert gap == pytest.approx(10 / 300.0, rel=1e-6)
+        # The run really is paced (last batch scheduled at 20/300 s).
+        assert elapsed >= (20 / 300.0) * 0.8
+
+    def test_closed_loop_stamps_put_time(self):
+        stream = [[("k", None)] * 4]
+        messages = _run_source(stream, batch_size=2, rate=None)
+        batches = [m for m in messages if isinstance(m, EmittedBatch)]
+        # Monotonic stamps taken at put time, no schedule.
+        assert batches[0].origin_at <= batches[1].origin_at

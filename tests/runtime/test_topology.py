@@ -1,0 +1,274 @@
+"""Multi-stage process topologies: chaining, re-keying, failure handling."""
+
+import time
+
+import pytest
+
+from repro.baselines.hash_only import HashPartitioner
+from repro.engine.operator import OperatorLogic
+from repro.operators.windowed_aggregate import WindowedAggregate
+from repro.operators.wordcount import WordCountOperator
+from repro.runtime.topology import (
+    RuntimeConfig,
+    StageSpec,
+    TopologyRuntime,
+    TopologySpec,
+)
+
+
+def _bucket(key):
+    """Module-level key mapper (picklable under any start method)."""
+    return key % 5
+
+
+def _stream(intervals=3, keys=40, repeats=25):
+    return [
+        [(key, None) for key in range(keys) for _ in range(repeats)]
+        for _ in range(intervals)
+    ]
+
+
+def _config(**overrides):
+    defaults = dict(
+        parallelism=2,
+        batch_size=64,
+        queue_capacity=4,
+        service_time_us=5.0,
+    )
+    defaults.update(overrides)
+    return RuntimeConfig(**defaults)
+
+
+def _two_stage_spec():
+    return TopologySpec(
+        "two-stage",
+        [
+            StageSpec(
+                name="counter",
+                logic=WordCountOperator(emit_updates=True),
+                partitioner=HashPartitioner(2, seed=0),
+                key_mapper=_bucket,
+            ),
+            StageSpec(
+                name="agg",
+                logic=WindowedAggregate(window=16),
+                partitioner=HashPartitioner(2, seed=1),
+            ),
+        ],
+    )
+
+
+class TestChainedExecution:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        runtime = TopologyRuntime(
+            _two_stage_spec(), _config(collect_final_state=True)
+        )
+        return runtime.run(_stream())
+
+    def test_every_stage_processes_every_tuple(self, outcome):
+        total = 3 * 40 * 25
+        assert outcome.tuples_offered == total
+        for stage in outcome.stages.values():
+            # Selectivity 1 everywhere: counter emits one update per input.
+            assert stage.tuples_offered == total
+            assert stage.tuples_processed == total
+            assert stage.latency.total == total
+
+    def test_stage_order_and_names(self, outcome):
+        assert outcome.stage_names == ["counter", "agg"]
+        assert outcome.first.label == "counter"
+        assert outcome.final.label == "agg"
+        assert outcome.tuples_processed == outcome.final.tuples_processed
+
+    def test_key_mapper_rekeys_between_stages(self, outcome):
+        # The counter's output is re-keyed modulo 5, so the aggregation
+        # stage's state lives entirely in the mapped key domain.
+        assert set(outcome.final.final_state) == set(range(5))
+        assert set(outcome.first.final_state) == set(range(40))
+
+    def test_end_to_end_latency_measured_at_final_stage_only(self, outcome):
+        assert outcome.first.e2e_latency.total == 0
+        assert outcome.final.e2e_latency.total == 3 * 40 * 25
+        # End-to-end spans both stages, so it dominates the final stage's
+        # own dispatch-to-completion latency.
+        assert (
+            outcome.e2e_latency.mean_us
+            >= outcome.final.latency.mean_us
+        )
+
+    def test_per_stage_interval_accounting(self, outcome):
+        for stage in outcome.stages.values():
+            processed = stage.metrics.series("processed_tuples")
+            assert len(processed) == 3
+            assert sum(processed) == stage.tuples_processed
+
+    def test_chain_summary_has_bench_row_shape(self, outcome):
+        summary = outcome.summary()
+        for key in (
+            "tuples",
+            "wall_seconds",
+            "tuples_per_second",
+            "latency_p50_ms",
+            "latency_p99_ms",
+            "rebalances",
+            "shed_tuples",
+        ):
+            assert key in summary
+        assert summary["tuples"] == 3 * 40 * 25
+        assert summary["tuples_per_second"] > 0
+
+
+class TestSpecValidation:
+    def test_rejects_empty_topology(self):
+        with pytest.raises(ValueError):
+            TopologySpec("empty", [])
+
+    def test_rejects_duplicate_stage_names(self):
+        stage = StageSpec(
+            name="same",
+            logic=WordCountOperator(),
+            partitioner=HashPartitioner(2),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            TopologySpec("dupes", [stage, stage])
+
+    def test_rejects_empty_stage_name(self):
+        with pytest.raises(ValueError):
+            StageSpec(
+                name="", logic=WordCountOperator(), partitioner=HashPartitioner(2)
+            )
+
+    def test_config_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(offered_rate=0.0)
+        with pytest.raises(ValueError):
+            RuntimeConfig(calibration_headroom=0.0)
+
+
+def _crashing_source(*args, **kwargs):
+    """Source entry point that dies immediately (module-level: picklable)."""
+    raise RuntimeError("source boom")
+
+
+class _PoisonOperator(OperatorLogic):
+    """Raises on one key — simulates an operator bug in a worker process."""
+
+    name = "poison"
+    stateful = True
+
+    def process(self, tup, state, task_id):
+        if tup.key == 13:
+            raise ValueError("poisoned tuple")
+        return []
+
+
+class TestFailurePaths:
+    def test_worker_crash_surfaces_clean_error_without_hanging(self):
+        spec = TopologySpec(
+            "crash",
+            [
+                StageSpec(
+                    name="counter",
+                    logic=WordCountOperator(emit_updates=True),
+                    partitioner=HashPartitioner(2, seed=0),
+                ),
+                StageSpec(
+                    name="poison",
+                    logic=_PoisonOperator(),
+                    partitioner=HashPartitioner(2, seed=1),
+                ),
+            ],
+        )
+        runtime = TopologyRuntime(
+            spec, _config(queue_capacity=2, join_timeout_seconds=30.0)
+        )
+        started = time.monotonic()
+        with pytest.raises(RuntimeError, match="poison"):
+            runtime.run(_stream(intervals=4))
+        # The whole topology (source, both stages) must shut down promptly:
+        # no hang on a queue nobody drains anymore.
+        assert time.monotonic() - started < 25.0
+
+    def test_source_crash_surfaces_instead_of_hanging(self, monkeypatch):
+        # A source process that dies before its end-of-stream mark must trip
+        # the stage-0 watchdog; without it the ingress poll waits forever.
+        import repro.runtime.topology as topology_module
+
+        monkeypatch.setattr(topology_module, "source_main", _crashing_source)
+        spec = TopologySpec(
+            "dead-source",
+            [
+                StageSpec(
+                    name="counter",
+                    logic=WordCountOperator(emit_updates=False),
+                    partitioner=HashPartitioner(2, seed=0),
+                )
+            ],
+        )
+        started = time.monotonic()
+        with pytest.raises(RuntimeError, match="source process died"):
+            TopologyRuntime(
+                spec, _config(join_timeout_seconds=30.0)
+            ).run(_stream(intervals=1))
+        assert time.monotonic() - started < 25.0
+
+    def test_single_stage_crash_reports_worker_traceback(self):
+        spec = TopologySpec(
+            "solo-crash",
+            [
+                StageSpec(
+                    name="poison",
+                    logic=_PoisonOperator(),
+                    partitioner=HashPartitioner(2, seed=0),
+                )
+            ],
+        )
+        with pytest.raises(RuntimeError, match="poisoned tuple"):
+            TopologyRuntime(spec, _config(join_timeout_seconds=30.0)).run(
+                _stream(intervals=2)
+            )
+
+
+class TestOpenLoopSource:
+    def test_paced_source_slows_the_run_to_the_offered_rate(self):
+        total = 3 * 40 * 25  # 3000 tuples
+        rate = 4000.0
+        spec = TopologySpec(
+            "paced",
+            [
+                StageSpec(
+                    name="counter",
+                    logic=WordCountOperator(emit_updates=False),
+                    partitioner=HashPartitioner(2, seed=0),
+                )
+            ],
+        )
+        outcome = TopologyRuntime(spec, _config(offered_rate=rate)).run(_stream())
+        stage = outcome.stages["counter"]
+        assert stage.tuples_processed == total
+        # Open loop: the wall clock is set by the offered rate, not the drain.
+        assert outcome.wall_seconds >= (total / rate) * 0.8
+        # Below saturation the measured end-to-end latency stays far under
+        # the closed-loop queue-bound latency (which is ~queue-depth × pace).
+        assert stage.e2e_latency.p50_us < 0.25e6
+
+
+class TestBackpressureChaining:
+    def test_slow_final_stage_throttles_the_whole_chain(self):
+        # The aggregation is paced ~10× slower than stage 0 can produce;
+        # bounded queues must stall the chain down to the sink's rate rather
+        # than buffer unboundedly (offered == processed everywhere, and the
+        # wall clock is set by the slow stage's service demand).
+        spec = _two_stage_spec()
+        total = 2 * 40 * 25
+        service_us = 400.0
+        outcome = TopologyRuntime(
+            spec, _config(service_time_us=service_us, queue_capacity=2)
+        ).run(_stream(intervals=2))
+        for stage in outcome.stages.values():
+            assert stage.tuples_processed == total
+        # Each agg worker owes ~(total/2)×service of sleep; the chain cannot
+        # finish faster than that floor.
+        floor_seconds = (total / 2) * service_us / 1e6
+        assert outcome.wall_seconds >= floor_seconds * 0.8
