@@ -34,6 +34,17 @@ REQUIRED_ROW_KEYS = (
 
 REQUIRED_METADATA_KEYS = ("run_id", "engine", "created_at", "git_rev")
 
+#: Measured quantities of the optional ``router_micro`` section (written by
+#: ``scripts/bench_router.py --merge-into``).
+REQUIRED_ROUTER_MICRO_KEYS = (
+    "tuples",
+    "num_tasks",
+    "batch_size",
+    "vectorized_tuples_per_s",
+    "reference_tuples_per_s",
+    "speedup",
+)
+
 
 def _fail(message: str):
     print(f"FAIL: {message}", file=sys.stderr)
@@ -93,7 +104,62 @@ def validate_report(payload: dict) -> int:
             f"per_strategy keys {sorted(per_strategy)} do not match row "
             f"strategies {sorted(strategies)}"
         )
+
+    _validate_rate_sweep(spec, rows)
+    if "router_micro" in payload:
+        _validate_router_micro(payload["router_micro"])
     return len(rows)
+
+
+def _validate_rate_sweep(spec: dict, rows: list) -> None:
+    """Rate-sweep reports carry one row per (strategy, rate), rates ascending."""
+    sweep = spec.get("rate_sweep")
+    swept_rows = [row for row in rows if "offered_rate" in row]
+    if not sweep:
+        if swept_rows:
+            _fail("rows carry 'offered_rate' but spec has no rate_sweep")
+        return
+    if not isinstance(sweep, list) or len(sweep) < 2:
+        _fail(f"spec.rate_sweep must list at least 2 rates, got {sweep!r}")
+    if any(b <= a for a, b in zip(sweep, sweep[1:])):
+        _fail(f"spec.rate_sweep is not strictly ascending: {sweep}")
+    per_strategy_rates: dict = {}
+    for row in rows:
+        if "offered_rate" not in row:
+            _fail(f"rate-sweep row ({row.get('strategy')!r}) missing 'offered_rate'")
+        _check_number("rate-sweep row", "offered_rate", row["offered_rate"])
+        per_strategy_rates.setdefault(row["strategy"], []).append(
+            row["offered_rate"]
+        )
+    for strategy, rates in per_strategy_rates.items():
+        if rates != sorted(rates) or len(set(rates)) != len(rates):
+            _fail(
+                f"strategy {strategy!r}: offered-rate series is not strictly "
+                f"ascending: {rates}"
+            )
+        if len(rates) != len(sweep):
+            _fail(
+                f"strategy {strategy!r}: {len(rates)} swept rows but "
+                f"spec.rate_sweep has {len(sweep)} rates"
+            )
+
+
+def _validate_router_micro(micro) -> None:
+    """The router microbenchmark section: positive figures, consistent ratio."""
+    if not isinstance(micro, dict):
+        _fail("router_micro must be an object")
+    for key in REQUIRED_ROUTER_MICRO_KEYS:
+        if key not in micro:
+            _fail(f"router_micro is missing {key!r}")
+        _check_number("router_micro", key, micro[key])
+        if micro[key] <= 0:
+            _fail(f"router_micro.{key} must be positive, got {micro[key]!r}")
+    ratio = micro["vectorized_tuples_per_s"] / micro["reference_tuples_per_s"]
+    if abs(ratio - micro["speedup"]) > 1e-6 * max(ratio, micro["speedup"]):
+        _fail(
+            f"router_micro.speedup ({micro['speedup']}) does not match "
+            f"vectorized/reference ({ratio})"
+        )
 
 
 def main(argv) -> int:
@@ -109,7 +175,15 @@ def main(argv) -> int:
         _fail(f"{path} is not valid JSON: {exc}")
     rows = validate_report(payload)
     workload = payload["spec"].get("workload")
-    print(f"OK: {path} — {rows} measured rows ({workload}), schema valid")
+    extras = []
+    if payload["spec"].get("rate_sweep"):
+        extras.append(f"rate sweep x{len(payload['spec']['rate_sweep'])}")
+    if "router_micro" in payload:
+        extras.append(
+            f"router micro {payload['router_micro']['speedup']:.2f}x"
+        )
+    suffix = f" [{', '.join(extras)}]" if extras else ""
+    print(f"OK: {path} — {rows} measured rows ({workload}), schema valid{suffix}")
     return 0
 
 

@@ -26,7 +26,9 @@ cache epoch is provided by :meth:`Partitioner._route_epoch`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.core.hashing import memo_key
 from repro.core.planner import RebalanceResult
@@ -42,6 +44,15 @@ _EPOCH_UNSET = object()
 #: Bound on memoised key→task entries (matches the digest-cache cap): a
 #: workload that keeps minting fresh keys must not grow the memo without limit.
 _ROUTE_CACHE_MAX = 1 << 20
+
+#: Key types eligible for the raw-key bulk route memo.  A per-type dict keyed
+#: by the *raw* key needs no :func:`memo_key` boxing, so a whole batch reads
+#: as one C-level ``map(cache.get, keys)`` — but it is only collision-safe
+#: when every key of the batch has exactly that type (``1``/``True``/``1.0``
+#: are equal dict keys that hash differently; the homogeneity check in
+#: :meth:`Partitioner.assign_batch` rules the mix out, and ``float`` stays
+#: excluded entirely because ``0.0``/``-0.0`` collide even within the type).
+_BULK_MEMO_TYPES = frozenset((str, bytes, int))
 
 
 class Partitioner(ABC):
@@ -59,6 +70,8 @@ class Partitioner(ABC):
             raise ValueError(f"num_tasks must be positive, got {num_tasks}")
         self.num_tasks = int(num_tasks)
         self._route_cache: Dict[Key, int] = {}
+        #: Raw-key memos for homogeneously-typed batches (see _BULK_MEMO_TYPES).
+        self._typed_route_caches: Dict[type, Dict[Key, int]] = {}
         self._route_cache_epoch: object = _EPOCH_UNSET
 
     @abstractmethod
@@ -79,6 +92,7 @@ class Partitioner(ABC):
     def invalidate_route_cache(self) -> None:
         """Drop all memoised key→task results (after rebalance/scale-out)."""
         self._route_cache.clear()
+        self._typed_route_caches.clear()
         self._route_cache_epoch = _EPOCH_UNSET
 
     def _check_snapshot_num_tasks(self, num_tasks: Optional[int]) -> None:
@@ -89,13 +103,18 @@ class Partitioner(ABC):
                 f"{self.num_tasks}"
             )
 
-    def _valid_route_cache(self) -> Dict[Key, int]:
-        """The memo dict, cleared first if the assignment epoch moved."""
+    def _sync_route_epoch(self) -> None:
+        """Drop every memo if the assignment epoch moved."""
         epoch = self._route_epoch()
         if epoch != self._route_cache_epoch:
             self._route_cache.clear()
+            self._typed_route_caches.clear()
             self._route_cache_epoch = epoch
-        elif len(self._route_cache) >= _ROUTE_CACHE_MAX:
+
+    def _valid_route_cache(self) -> Dict[Key, int]:
+        """The memo dict, cleared first if the assignment epoch moved."""
+        self._sync_route_epoch()
+        if len(self._route_cache) >= _ROUTE_CACHE_MAX:
             self._route_cache.clear()
         return self._route_cache
 
@@ -103,11 +122,21 @@ class Partitioner(ABC):
         """Destination task of every key in ``keys`` (one call, in order).
 
         Semantically identical to ``[self.route(k) for k in keys]``; cached
-        strategies answer repeated keys from the key→task memo.
+        strategies answer repeated keys from the key→task memo.  A batch
+        whose keys are homogeneously ``str``/``bytes``/``int`` takes the
+        **bulk memo path**: one C-level ``map`` over a raw-key dict, with a
+        Python-level loop only over the cache misses — this is what lets the
+        runtime router dispatch a chunk without per-key Python work.
         """
         if not self.cache_routes:
             route = self.route
             return [route(key) for key in keys]
+        if not isinstance(keys, (list, tuple)):
+            keys = list(keys)
+        if keys and len(types := set(map(type, keys))) == 1:
+            (cls,) = types
+            if cls in _BULK_MEMO_TYPES:
+                return self._assign_batch_bulk(keys, cls)
         cache = self._valid_route_cache()
         cache_get = cache.get
         route = self.route
@@ -122,6 +151,55 @@ class Partitioner(ABC):
                 task = cache[memo] = route(key)
             out.append(task)
         return out
+
+    def _bulk_route_cache(self, cls: type) -> Dict[Key, int]:
+        """The raw-key memo dict of one key type (epoch-synced, capped)."""
+        self._sync_route_epoch()
+        cache = self._typed_route_caches.get(cls)
+        if cache is None:
+            cache = self._typed_route_caches[cls] = {}
+        elif len(cache) >= _ROUTE_CACHE_MAX:
+            cache.clear()
+        return cache
+
+    def _assign_batch_bulk(self, keys: Sequence[Key], cls: type) -> List[int]:
+        """Raw-key memo lookup of a homogeneously-``cls``-typed batch."""
+        cache = self._bulk_route_cache(cls)
+        out = list(map(cache.get, keys))
+        if None in out:  # first sighting of some keys under this assignment
+            route = self.route
+            cache_get = cache.get
+            for index, task in enumerate(out):
+                if task is None:
+                    key = keys[index]
+                    task = cache_get(key)
+                    if task is None:
+                        task = cache[key] = route(key)
+                    out[index] = task
+        return out
+
+    def assign_batch_array(self, keys: Sequence[Key]) -> np.ndarray:
+        """Destinations as an ``intp`` ndarray (the router's dispatch shape).
+
+        Same semantics as :meth:`assign_batch`; on the all-hits bulk path the
+        array is filled straight from the raw-key memo (one C-level
+        ``fromiter`` over ``map(cache.get, …)``) without materialising the
+        intermediate Python list.
+        """
+        if self.cache_routes and isinstance(keys, (list, tuple)) and keys:
+            if len(types := set(map(type, keys))) == 1:
+                (cls,) = types
+                if cls in _BULK_MEMO_TYPES:
+                    cache = self._bulk_route_cache(cls)
+                    try:
+                        return np.fromiter(
+                            map(cache.get, keys), dtype=np.intp, count=len(keys)
+                        )
+                    except TypeError:
+                        # A miss surfaced as None; fall through to the list
+                        # path, which computes and memoises the new routes.
+                        pass
+        return np.asarray(self.assign_batch(keys), dtype=np.intp)
 
     def route_snapshot(
         self,

@@ -7,6 +7,7 @@ Commands::
     python -m repro run all --scale tiny              # every registered figure
     python -m repro bench wordcount --parallelism 4   # wall-clock process bench
     python -m repro bench tpch_q5_chain --parallelism 2  # 3-stage Q5 topology
+    python -m repro bench tpch_q5_chain --rate-sweep 5000:40000:5  # Fig. 13 knee
     python -m repro list                              # experiments + strategies
     python -m repro list --runs                       # stored runs
     python -m repro report                            # render the latest run
@@ -78,6 +79,36 @@ def _service_time(text: str) -> Any:
             f"service time must be non-negative, got {value}"
         )
     return value
+
+
+def _parse_rate_sweep(text: str) -> List[float]:
+    """``--rate-sweep LO:HI:STEPS`` into an ascending list of offered rates.
+
+    ``STEPS`` linearly spaced rates from ``LO`` to ``HI`` inclusive, e.g.
+    ``10000:50000:5`` -> 10k, 20k, 30k, 40k, 50k tuples/second.
+    """
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected LO:HI:STEPS (e.g. 10000:50000:5), got {text!r}"
+        )
+    try:
+        low, high = float(parts[0]), float(parts[1])
+        steps = int(parts[2])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected numeric LO:HI and integer STEPS, got {text!r}"
+        )
+    if low <= 0 or high <= low:
+        raise argparse.ArgumentTypeError(
+            f"need 0 < LO < HI, got LO={parts[0]} HI={parts[1]}"
+        )
+    if steps < 2:
+        raise argparse.ArgumentTypeError(
+            f"a sweep needs at least 2 steps, got {steps}"
+        )
+    pace = (high - low) / (steps - 1)
+    return [low + index * pace for index in range(steps)]
 
 
 def _parse_stage_parallelism(pairs: Sequence[str]) -> Dict[str, int]:
@@ -215,6 +246,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "open-loop source rate in tuples/second "
             "(default: closed-loop drain at saturation)"
+        ),
+    )
+    benchp.add_argument(
+        "--rate-sweep",
+        type=_parse_rate_sweep,
+        default=None,
+        metavar="LO:HI:STEPS",
+        help=(
+            "sweep the open-loop offered rate toward saturation (STEPS "
+            "linearly spaced rates, one measured row each — the Fig. 13 "
+            "latency/throughput knee); mutually exclusive with --rate"
         ),
     )
     benchp.add_argument(
@@ -410,6 +452,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             service_time_us=50.0 if calibrate else args.service_time_us,
             calibrate_pacing=calibrate,
             offered_rate=args.rate,
+            rate_sweep=args.rate_sweep,
             stage_parallelism=_parse_stage_parallelism(args.stage_parallelism),
             batch_size=args.batch_size,
             queue_capacity=args.queue_capacity,

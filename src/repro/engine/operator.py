@@ -12,16 +12,24 @@ consumes at the end of every interval.
 from __future__ import annotations
 
 from abc import ABC
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Iterable, List, Optional
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.statistics import IntervalStats
 from repro.engine.state import KeyedState
 from repro.engine.tuples import StreamTuple
 
-__all__ = ["OperatorLogic", "Task", "TaskMetrics"]
+__all__ = ["BatchCost", "OperatorLogic", "Task", "TaskMetrics"]
 
 Key = Hashable
+
+#: A whole batch's processing cost: either one scalar (the shared per-tuple
+#: cost — every constant/affine cost model) or an array of per-tuple costs
+#: aligned with the batch's keys.
+BatchCost = Union[float, np.ndarray]
 
 
 class OperatorLogic(ABC):
@@ -50,6 +58,47 @@ class OperatorLogic(ABC):
         """Memory units of state added by one tuple with ``key``."""
         return 1.0 if self.stateful else 0.0
 
+    def batch_cost(
+        self, keys: Sequence[Key], values: Optional[Sequence[Any]] = None
+    ) -> BatchCost:
+        """Processing cost of a whole batch of tuples (router/worker hot path).
+
+        Returns either a **scalar** — the shared per-tuple cost when every
+        tuple of the batch costs the same, which is true of every constant or
+        affine cost model in the repo (word count, windowed aggregate, the
+        TPC-H joins) — or an ndarray of per-tuple costs aligned with
+        ``keys``.  Callers multiply a scalar by per-destination tuple counts
+        (no per-tuple work at all) and ``np.bincount``-reduce an array.
+
+        The default falls back to one :meth:`tuple_cost` call per tuple, so
+        any operator with a genuinely key/value-dependent cost stays correct
+        without overriding anything.
+        """
+        if values is None:
+            iterator = (self.tuple_cost(key) for key in keys)
+        else:
+            iterator = (
+                self.tuple_cost(key, value) for key, value in zip(keys, values)
+            )
+        return np.fromiter(iterator, dtype=np.float64, count=len(keys))
+
+    def batch_state_delta(
+        self, keys: Sequence[Key], values: Optional[Sequence[Any]] = None
+    ) -> BatchCost:
+        """State added by a whole batch of tuples (same shape as batch_cost).
+
+        Scalar when every tuple adds the same state (all shipped operators);
+        the default falls back to one :meth:`state_delta` call per tuple —
+        value included — so value-dependent state models stay exact.
+        """
+        if values is None:
+            iterator = (self.state_delta(key) for key in keys)
+        else:
+            iterator = (
+                self.state_delta(key, value) for key, value in zip(keys, values)
+            )
+        return np.fromiter(iterator, dtype=np.float64, count=len(keys))
+
     # -- event-level model ------------------------------------------------------------
 
     def process(
@@ -67,6 +116,34 @@ class OperatorLogic(ABC):
         if self.stateful:
             state.accumulate(tup.key, tup.interval, self.state_delta(tup.key, tup.value))
         return [tup]
+
+    def process_batch(
+        self,
+        keys: Sequence[Key],
+        values: Sequence[Any],
+        interval: int,
+        state: KeyedState,
+        task_id: int,
+    ) -> Tuple[List[Key], List[Any]]:
+        """Process a whole batch; returns the emissions columnar.
+
+        Semantically identical to calling :meth:`process` once per tuple (in
+        order) and flattening the emitted tuples into parallel
+        ``(out_keys, out_values)`` lists — which is exactly what this default
+        does, so every operator is batch-callable.  Hot operators override it
+        to skip the per-tuple :class:`StreamTuple` boxing, the kwargs dict
+        and the output-list allocation of the scalar path.
+        """
+        out_keys: List[Key] = []
+        out_values: List[Any] = []
+        process = self.process
+        for key, value in zip(keys, values):
+            for tup in process(
+                StreamTuple(key=key, value=value, interval=interval), state, task_id
+            ):
+                out_keys.append(tup.key)
+                out_values.append(tup.value)
+        return out_keys, out_values
 
     def merge_overhead(self, distinct_partials: int) -> float:
         """Extra per-interval cost of merging split-key partial results.
@@ -124,6 +201,71 @@ class Task:
         self.metrics.state_installed += delta
         assert self._interval_stats is not None
         self._interval_stats.record(tup.key, frequency=1.0, cost=cost, memory=delta)
+        return outputs
+
+    def process_batch(
+        self, keys: Sequence[Key], values: Sequence[Any], interval: int
+    ) -> Tuple[List[Key], List[Any]]:
+        """Event-level processing of a whole batch (runtime worker hot path).
+
+        The batch sibling of :meth:`process`: the operator logic runs once
+        per tuple (through :meth:`OperatorLogic.process_batch`, which hot
+        operators vectorise), but the metrics counters and the per-key
+        interval statistics are updated **once per batch** — a
+        :class:`~collections.Counter` over the keys plus the operator's
+        :meth:`~OperatorLogic.batch_cost` / :meth:`~OperatorLogic.
+        batch_state_delta`, instead of per-tuple dict updates.  Both batch
+        models default to exact per-tuple evaluation (value included) and
+        are evaluated **before** the processing mutates the windowed state,
+        matching the scalar path's ordering (a cost model that reads its own
+        accumulated state still sees pre-batch rather than pre-tuple state —
+        chunk granularity is the documented resolution of the batch path).
+        """
+        if self._interval_stats is None:
+            self.begin_interval(interval)
+        logic = self.logic
+        count = len(keys)
+        if count:
+            costs = logic.batch_cost(keys, values)
+            deltas = logic.batch_state_delta(keys, values)
+        outputs = logic.process_batch(keys, values, interval, self.state, self.task_id)
+        if count:
+            freqs = Counter(keys)
+            entries: List[Tuple[Key, float, float, float]] = []
+            total_cost = 0.0
+            total_delta = 0.0
+            if np.ndim(costs) == 0 and np.ndim(deltas) == 0:
+                unit_cost = float(costs)
+                unit_delta = float(deltas)
+                total_cost = unit_cost * count
+                total_delta = unit_delta * count
+                for key, freq in freqs.items():
+                    entries.append(
+                        (key, float(freq), unit_cost * freq, unit_delta * freq)
+                    )
+            else:
+                cost_seq = (
+                    costs.tolist() if np.ndim(costs) else [float(costs)] * count
+                )
+                delta_seq = (
+                    deltas.tolist() if np.ndim(deltas) else [float(deltas)] * count
+                )
+                cost_of: Dict[Key, float] = {}
+                delta_of: Dict[Key, float] = {}
+                for key, cost, delta in zip(keys, cost_seq, delta_seq):
+                    cost_of[key] = cost_of.get(key, 0.0) + cost
+                    delta_of[key] = delta_of.get(key, 0.0) + delta
+                    total_cost += cost
+                    total_delta += delta
+                entries.extend(
+                    (key, float(freq), cost_of[key], delta_of[key])
+                    for key, freq in freqs.items()
+                )
+            assert self._interval_stats is not None
+            self._interval_stats.record_bulk(entries)
+            self.metrics.tuples_processed += count
+            self.metrics.cost_processed += total_cost
+            self.metrics.state_installed += total_delta
         return outputs
 
     def ingest_counts(

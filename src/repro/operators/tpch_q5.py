@@ -21,7 +21,7 @@ effect the experiment measures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.baselines.base import Partitioner
 from repro.engine.operator import OperatorLogic
@@ -98,6 +98,29 @@ class DimensionJoin(WindowedJoin):
         return [
             StreamTuple(key=tup.key, value=enriched, interval=tup.interval, stream="joined")
         ]
+
+    def process_batch(
+        self,
+        keys: Sequence[Key],
+        values: Sequence[Any],
+        interval: int,
+        state: KeyedState,
+        task_id: int,
+    ) -> Tuple[List[Key], List[Any]]:
+        accumulate = state.accumulate
+        lookup = self.lookup
+        state_per_tuple = self.state_per_tuple
+        out_values: List[Any] = []
+        append = out_values.append
+        for key, value in zip(keys, values):
+            accumulate(
+                key,
+                interval,
+                state_per_tuple,
+                payload_update=lambda old: (old or []) + [value],
+            )
+            append((value, lookup(key)))
+        return list(keys), out_values
 
 
 def q5_revenue_of(value: Any) -> float:

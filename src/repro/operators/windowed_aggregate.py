@@ -15,9 +15,9 @@ Two execution modes are provided:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, List, Optional
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.engine.operator import OperatorLogic
+from repro.engine.operator import BatchCost, OperatorLogic
 from repro.engine.state import KeyedState
 from repro.engine.tuples import StreamTuple
 
@@ -71,7 +71,18 @@ class WindowedAggregate(OperatorLogic):
     def tuple_cost(self, key: Key, value: Any = None) -> float:
         return self.cost_per_tuple
 
+    def batch_cost(
+        self, keys: Sequence[Key], values: Optional[Sequence[Any]] = None
+    ) -> BatchCost:
+        # Constant cost model: one scalar covers the whole batch.
+        return self.cost_per_tuple
+
     def state_delta(self, key: Key, value: Any = None) -> float:
+        return self.state_per_tuple
+
+    def batch_state_delta(
+        self, keys: Sequence[Key], values: Optional[Sequence[Any]] = None
+    ) -> BatchCost:
         return self.state_per_tuple
 
     def process(
@@ -86,6 +97,30 @@ class WindowedAggregate(OperatorLogic):
         return [
             StreamTuple(key=tup.key, value=aggregate, interval=tup.interval, stream="aggregates")
         ]
+
+    def process_batch(
+        self,
+        keys: Sequence[Key],
+        values: Sequence[Any],
+        interval: int,
+        state: KeyedState,
+        task_id: int,
+    ) -> Tuple[List[Key], List[Any]]:
+        accumulate = state.accumulate
+        reducer = self.reducer
+        state_per_tuple = self.state_per_tuple
+        out_values: List[Any] = []
+        append = out_values.append
+        for key, value in zip(keys, values):
+            append(
+                accumulate(
+                    key,
+                    interval,
+                    state_per_tuple,
+                    payload_update=lambda old: reducer(old, value),
+                )
+            )
+        return list(keys), out_values
 
     def windowed_value(self, state: KeyedState, key: Key) -> Any:
         """Fold the per-interval aggregates of ``key`` across the window."""
@@ -124,6 +159,31 @@ class PartialWindowedAggregate(WindowedAggregate):
             )
         ]
 
+    def process_batch(
+        self,
+        keys: Sequence[Key],
+        values: Sequence[Any],
+        interval: int,
+        state: KeyedState,
+        task_id: int,
+    ) -> Tuple[List[Key], List[Any]]:
+        # Same loop as the parent, but emissions are tagged with the
+        # producing task so the downstream merger can deduplicate.
+        accumulate = state.accumulate
+        reducer = self.reducer
+        state_per_tuple = self.state_per_tuple
+        out_values: List[Any] = []
+        append = out_values.append
+        for key, value in zip(keys, values):
+            partial = accumulate(
+                key,
+                interval,
+                state_per_tuple,
+                payload_update=lambda old: reducer(old, value),
+            )
+            append((task_id, partial))
+        return list(keys), out_values
+
     def merge_overhead(self, distinct_partials: int) -> float:
         # One merge unit of work per (key, task) partial produced this interval.
         return float(distinct_partials)
@@ -155,9 +215,19 @@ class MergeOperator(OperatorLogic):
     def tuple_cost(self, key: Key, value: Any = None) -> float:
         return self.cost_per_partial
 
+    def batch_cost(
+        self, keys: Sequence[Key], values: Optional[Sequence[Any]] = None
+    ) -> BatchCost:
+        return self.cost_per_partial
+
     def state_delta(self, key: Key, value: Any = None) -> float:
         # The merger only keeps the combined aggregate per key, not the tuples.
         return 0.1
+
+    def batch_state_delta(
+        self, keys: Sequence[Key], values: Optional[Sequence[Any]] = None
+    ) -> BatchCost:
+        return self.state_delta(None)
 
     def process(
         self, tup: StreamTuple, state: KeyedState, task_id: int

@@ -14,9 +14,9 @@ buying and selling behaviour".
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, List, Optional, Sequence
 
-from repro.engine.operator import OperatorLogic
+from repro.engine.operator import BatchCost, OperatorLogic
 from repro.engine.state import KeyedState
 from repro.engine.tuples import StreamTuple
 
@@ -81,7 +81,18 @@ class WindowedJoin(OperatorLogic):
         probing = self.cost_per_match * self._avg_window_occupancy * self.match_factor
         return self.cost_per_tuple + probing
 
+    def batch_cost(
+        self, keys: Sequence[Key], values: Optional[Sequence[Any]] = None
+    ) -> BatchCost:
+        # Affine in the (batch-constant) window occupancy: still one scalar.
+        return self.tuple_cost(None)
+
     def state_delta(self, key: Key, value: Any = None) -> float:
+        return self.state_per_tuple
+
+    def batch_state_delta(
+        self, keys: Sequence[Key], values: Optional[Sequence[Any]] = None
+    ) -> BatchCost:
         return self.state_per_tuple
 
     def observe_occupancy(self, average_tuples_per_key: float) -> None:

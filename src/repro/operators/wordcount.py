@@ -9,15 +9,20 @@ count).
 
 from __future__ import annotations
 
-from typing import Any, Hashable, List
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
-from repro.engine.operator import OperatorLogic
+from repro.engine.operator import BatchCost, OperatorLogic
 from repro.engine.state import KeyedState
 from repro.engine.tuples import StreamTuple
 
 __all__ = ["WordCountOperator"]
 
 Key = Hashable
+
+
+def _increment(old: Optional[int]) -> int:
+    """Payload update of one appearance (module-level: no per-tuple closure)."""
+    return (old or 0) + 1
 
 
 class WordCountOperator(OperatorLogic):
@@ -62,7 +67,18 @@ class WordCountOperator(OperatorLogic):
     def tuple_cost(self, key: Key, value: Any = None) -> float:
         return self.cost_per_tuple
 
+    def batch_cost(
+        self, keys: Sequence[Key], values: Optional[Sequence[Any]] = None
+    ) -> BatchCost:
+        # Constant cost model: one scalar covers the whole batch.
+        return self.cost_per_tuple
+
     def state_delta(self, key: Key, value: Any = None) -> float:
+        return self.state_per_tuple
+
+    def batch_state_delta(
+        self, keys: Sequence[Key], values: Optional[Sequence[Any]] = None
+    ) -> BatchCost:
         return self.state_per_tuple
 
     # -- event-level model ----------------------------------------------------------
@@ -71,14 +87,31 @@ class WordCountOperator(OperatorLogic):
         self, tup: StreamTuple, state: KeyedState, task_id: int
     ) -> List[StreamTuple]:
         count = state.accumulate(
-            tup.key,
-            tup.interval,
-            self.state_per_tuple,
-            payload_update=lambda old: (old or 0) + 1,
+            tup.key, tup.interval, self.state_per_tuple, payload_update=_increment
         )
         if not self.emit_updates:
             return []
         return [StreamTuple(key=tup.key, value=count, interval=tup.interval, stream="counts")]
+
+    def process_batch(
+        self,
+        keys: Sequence[Key],
+        values: Sequence[Any],
+        interval: int,
+        state: KeyedState,
+        task_id: int,
+    ) -> Tuple[List[Key], List[Any]]:
+        accumulate = state.accumulate
+        state_per_tuple = self.state_per_tuple
+        if not self.emit_updates:
+            for key in keys:
+                accumulate(key, interval, state_per_tuple, payload_update=_increment)
+            return [], []
+        counts = [
+            accumulate(key, interval, state_per_tuple, payload_update=_increment)
+            for key in keys
+        ]
+        return list(keys), counts
 
     def windowed_count(self, state: KeyedState, key: Key) -> int:
         """Total appearances of ``key`` across the retained window."""

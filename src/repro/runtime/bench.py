@@ -144,6 +144,12 @@ class RuntimeSpec:
     offered_rate:
         Open-loop source rate in tuples/second (``None`` = closed-loop
         drain, the saturated-throughput setup).
+    rate_sweep:
+        Ascending list of open-loop offered rates (tuples/second).  When
+        set, every strategy runs once **per rate** on the same stream and
+        the report carries one row per ``(strategy, rate)`` — the measured
+        latency/throughput knee of the paper's Fig. 13, swept toward
+        saturation instead of sampled at a single ``offered_rate``.
     batch_size / queue_capacity / shed_timeout_seconds:
         Queueing knobs, see :class:`~repro.runtime.topology.RuntimeConfig`.
     """
@@ -161,6 +167,7 @@ class RuntimeSpec:
     stage_parallelism: Mapping[str, int] = field(default_factory=dict)
     calibrate_pacing: bool = False
     offered_rate: Optional[float] = None
+    rate_sweep: Optional[Sequence[float]] = None
 
     def __post_init__(self) -> None:
         if (
@@ -175,6 +182,21 @@ class RuntimeSpec:
             raise ValueError("parallelism must be positive")
         if self.offered_rate is not None and self.offered_rate <= 0:
             raise ValueError("offered_rate must be positive (or None)")
+        if self.rate_sweep is not None:
+            rates = [float(rate) for rate in self.rate_sweep]
+            if len(rates) < 2:
+                # A one-point "sweep" has no knee; the CLI and the report
+                # validator (scripts/validate_bench.py) require >= 2 too.
+                raise ValueError("rate_sweep needs at least two rates")
+            if any(rate <= 0 for rate in rates):
+                raise ValueError("rate_sweep rates must be positive")
+            if any(b <= a for a, b in zip(rates, rates[1:])):
+                raise ValueError("rate_sweep rates must be strictly ascending")
+            if self.offered_rate is not None:
+                raise ValueError(
+                    "offered_rate and rate_sweep are mutually exclusive"
+                )
+            object.__setattr__(self, "rate_sweep", rates)
         object.__setattr__(self, "strategies", list(self.strategies))
         # Fail fast on typos: a bad strategy or scale must not surface as a
         # crash after earlier strategies already ran for minutes.
@@ -218,8 +240,8 @@ class RuntimeSpec:
     def scale_label(self) -> str:
         return self.scale if isinstance(self.scale, str) else self.scale.name
 
-    def runtime_config(self, **kwargs: Any) -> RuntimeConfig:
-        return RuntimeConfig(
+    def runtime_config(self, **overrides: Any) -> RuntimeConfig:
+        params: Dict[str, Any] = dict(
             parallelism=self.parallelism,
             batch_size=self.batch_size,
             queue_capacity=self.queue_capacity,
@@ -227,8 +249,9 @@ class RuntimeSpec:
             shed_timeout_seconds=self.shed_timeout_seconds,
             calibrate_pacing=self.calibrate_pacing,
             offered_rate=self.offered_rate,
-            **kwargs,
         )
+        params.update(overrides)  # e.g. per-rate configs of a rate sweep
+        return RuntimeConfig(**params)
 
     def is_topology(self) -> bool:
         return self.workload in BENCH_TOPOLOGY_WORKLOADS
@@ -253,6 +276,7 @@ class RuntimeSpec:
             "stage_parallelism": dict(self.stage_parallelism),
             "calibrate_pacing": self.calibrate_pacing,
             "offered_rate": self.offered_rate,
+            "rate_sweep": list(self.rate_sweep) if self.rate_sweep else None,
         }
         return json.loads(json.dumps(payload))
 
@@ -280,6 +304,7 @@ class RuntimeSpec:
             },
             calibrate_pacing=bool(payload.get("calibrate_pacing", False)),
             offered_rate=payload.get("offered_rate"),
+            rate_sweep=payload.get("rate_sweep"),
         )
 
 
@@ -574,6 +599,21 @@ def _result_row(name: str, outcome: RuntimeResult) -> Dict[str, Any]:
     return row
 
 
+def _rate_sweep_rows(
+    name: str, swept: Mapping[float, Any]
+) -> List[Dict[str, Any]]:
+    """One row per offered rate (ascending): the measured saturation knee."""
+    rows: List[Dict[str, Any]] = []
+    for rate in sorted(swept):
+        outcome = swept[rate]
+        row: Dict[str, Any] = {"strategy": name, "offered_rate": rate}
+        if isinstance(outcome, TopologyResult):
+            row["stage"] = "chain"
+        row.update(outcome.summary())
+        rows.append(row)
+    return rows
+
+
 def _topology_rows(name: str, outcome: TopologyResult) -> List[Dict[str, Any]]:
     """One ``chain`` row (end-to-end) plus one row per stage."""
     chain: Dict[str, Any] = {"strategy": name, "stage": "chain"}
@@ -621,9 +661,8 @@ def run_bench(
             scale, spec.parallelism, spec.seed
         )
 
-    started = time.perf_counter()
-    outcomes: Dict[str, Any] = {}
-    for name in spec.strategies:
+    def run_strategy(name: str, config: RuntimeConfig) -> Any:
+        """One fresh run: strategies are stateful, so rebuild every time."""
         if topology is not None:
             def build(strategy_name: str, parallelism: int) -> Partitioner:
                 return _build_strategy(
@@ -631,17 +670,29 @@ def run_bench(
                 )
 
             topo_spec = topology.build_topology(scale, spec, name, build)
-            outcome: Any = TopologyRuntime(
-                topo_spec, spec.runtime_config(), label=name
-            ).run(stream)
+            return TopologyRuntime(topo_spec, config, label=name).run(stream)
+        partitioner = _build_strategy(name, spec, scale)
+        return LocalRuntime(logic, partitioner, config, label=name).run(stream)
+
+    started = time.perf_counter()
+    outcomes: Dict[str, Any] = {}
+    for name in spec.strategies:
+        if spec.rate_sweep:
+            # Open-loop sweep toward saturation: one run per offered rate on
+            # the same stream — the measured Fig. 13 latency/throughput knee.
+            swept: Dict[float, Any] = {}
+            for rate in spec.rate_sweep:
+                swept[rate] = run_strategy(
+                    name, spec.runtime_config(offered_rate=rate)
+                )
+                if on_result is not None:
+                    on_result(f"{name}@{rate:g}/s", swept[rate])
+            outcomes[name] = swept
         else:
-            partitioner = _build_strategy(name, spec, scale)
-            outcome = LocalRuntime(
-                logic, partitioner, spec.runtime_config(), label=name
-            ).run(stream)
-        outcomes[name] = outcome
-        if on_result is not None:
-            on_result(name, outcome)
+            outcome = run_strategy(name, spec.runtime_config())
+            outcomes[name] = outcome
+            if on_result is not None:
+                on_result(name, outcome)
     wall_time = time.perf_counter() - started
 
     result = ExperimentResult(
@@ -669,6 +720,9 @@ def run_bench(
                 if topology is not None
                 else {}
             ),
+            **(
+                {"rate_sweep": list(spec.rate_sweep)} if spec.rate_sweep else {}
+            ),
         },
         notes=(
             "measured on live worker processes (bounded queues, paced service); "
@@ -681,7 +735,10 @@ def run_bench(
         ),
     )
     for name in spec.strategies:
-        if topology is not None:
+        if spec.rate_sweep:
+            for row in _rate_sweep_rows(name, outcomes[name]):
+                result.add_row(**row)
+        elif topology is not None:
             for row in _topology_rows(name, outcomes[name]):
                 result.add_row(**row)
         else:
@@ -716,7 +773,12 @@ def run_bench(
     if store is not None:
         artifacts: Dict[str, Any] = {}
         for name, outcome in outcomes.items():
-            if isinstance(outcome, TopologyResult):
+            if isinstance(outcome, dict):  # rate sweep: {rate: outcome}
+                artifacts[f"{name}.rate_sweep"] = [
+                    {"offered_rate": rate, **outcome[rate].summary()}
+                    for rate in sorted(outcome)
+                ]
+            elif isinstance(outcome, TopologyResult):
                 for stage_name, stage in outcome.stages.items():
                     artifacts[f"{name}.{stage_name}.metrics"] = stage.metrics
                     artifacts[f"{name}.{stage_name}.latency"] = stage.latency
@@ -749,6 +811,13 @@ def _stage_report(stage: RuntimeResult) -> Dict[str, Any]:
 
 
 def _strategy_report(outcome: Any) -> Dict[str, Any]:
+    if isinstance(outcome, dict):  # rate sweep: {rate: outcome}
+        return {
+            "rate_sweep": [
+                {"offered_rate": rate, **_strategy_report(outcome[rate])}
+                for rate in sorted(outcome)
+            ]
+        }
     if isinstance(outcome, TopologyResult):
         return {
             "summary": outcome.summary(),

@@ -54,8 +54,13 @@ def source_main(
     started = time.monotonic()
     offered = 0
     for interval, tuples in enumerate(stream):
-        for index in range(0, len(tuples), batch_size):
-            chunk = tuples[index : index + batch_size]
+        # Split once per interval into the columnar batch layout; slices of
+        # the two flat lists are then cheap to chunk and pickle.
+        keys = [key for key, _ in tuples]
+        values = [value for _, value in tuples]
+        for index in range(0, len(keys), batch_size):
+            chunk_keys = keys[index : index + batch_size]
+            chunk_values = values[index : index + batch_size]
             if interval_pace:
                 scheduled = started + offered * interval_pace
                 delay = scheduled - time.monotonic()
@@ -65,9 +70,14 @@ def source_main(
             else:
                 origin = time.monotonic()
             out_queue.put(
-                EmittedBatch(interval=interval, origin_at=origin, tuples=chunk)
+                EmittedBatch(
+                    interval=interval,
+                    origin_at=origin,
+                    keys=chunk_keys,
+                    values=chunk_values,
+                )
             )
-            offered += len(chunk)
+            offered += len(chunk_keys)
         out_queue.put(
             UpstreamMark(producer_id=SOURCE_PRODUCER_ID, interval=interval)
         )

@@ -45,6 +45,7 @@ from typing import (
     Hashable,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -648,7 +649,8 @@ class _StageLoop(threading.Thread):
             message = self._next_ingress()
             if isinstance(message, EmittedBatch):
                 self.router.dispatch(
-                    message.tuples,
+                    message.keys,
+                    message.values,
                     pump=self._pump,
                     interval=message.interval,
                     origin_at=message.origin_at,
@@ -692,11 +694,13 @@ class _StageLoop(threading.Thread):
             self._interval_stats(interval, account.freqs)
         )
         now = time.monotonic()
+        # The account's dense per-task arrays convert to the report's
+        # ``{task: value}`` dict shape only here, at interval close.
         self.interval_rows.append(
             {
                 "interval": interval,
-                "offered_tuples": sum(account.offered_tuples.values()),
-                "offered_cost": dict(account.offered_cost),
+                "offered_tuples": float(account.offered_tuples_by_task.sum()),
+                "offered_cost": account.offered_cost,
                 "shed": dict(account.shed),
                 "elapsed": now - self._interval_started,
                 "migration": migration,
@@ -736,13 +740,13 @@ class _StageLoop(threading.Thread):
             self.calibrated_us = service_us
 
     def _interval_stats(
-        self, interval: int, freqs: Dict[Key, float]
+        self, interval: int, freqs: Mapping[Key, float]
     ) -> IntervalStats:
         stats = IntervalStats(interval)
         tuple_cost = self.spec.logic.tuple_cost
         state_delta = self.spec.logic.state_delta
         stats.record_bulk(
-            (key, count, count * tuple_cost(key), count * state_delta(key))
+            (key, float(count), count * tuple_cost(key), count * state_delta(key))
             for key, count in freqs.items()
             if count > 0
         )

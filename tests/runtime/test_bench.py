@@ -140,6 +140,24 @@ class TestRuntimeSpec:
         )
         assert RuntimeSpec.from_dict(spec.to_dict()) == spec
 
+    def test_rate_sweep_validation_and_round_trip(self):
+        # One-point sweeps are rejected everywhere (spec, CLI, validator).
+        with pytest.raises(ValueError, match="at least two"):
+            RuntimeSpec(rate_sweep=[])
+        with pytest.raises(ValueError, match="at least two"):
+            RuntimeSpec(rate_sweep=[1_000.0])
+        with pytest.raises(ValueError, match="positive"):
+            RuntimeSpec(rate_sweep=[-5.0, 10.0])
+        with pytest.raises(ValueError, match="ascending"):
+            RuntimeSpec(rate_sweep=[10_000.0, 5_000.0])
+        with pytest.raises(ValueError, match="ascending"):
+            RuntimeSpec(rate_sweep=[5_000.0, 5_000.0])
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            RuntimeSpec(offered_rate=1_000.0, rate_sweep=[1_000.0, 2_000.0])
+        spec = RuntimeSpec(rate_sweep=[1_000, 2_000.5])
+        assert spec.rate_sweep == [1_000.0, 2_000.5]
+        assert RuntimeSpec.from_dict(spec.to_dict()) == spec
+
 
 class TestRunBench:
     @pytest.fixture(scope="class")
@@ -253,6 +271,58 @@ class TestChainBench:
         assert e2e.total == 10_000
 
 
+class TestRateSweep:
+    """run_bench with a rate_sweep: one measured row per offered rate."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("sweep-bench")
+        spec = RuntimeSpec(
+            workload="wordcount",
+            strategies=["storm"],
+            rate_sweep=[20_000.0, 80_000.0],
+            **TINY,
+        )
+        run, results = run_bench(spec, output_path=root / "BENCH_sweep.json")
+        return spec, run, results, root
+
+    def test_one_row_per_rate_with_ascending_rates(self, outcome):
+        _, run, results, _ = outcome
+        rows = run.result.rows
+        assert [row["offered_rate"] for row in rows] == [20_000.0, 80_000.0]
+        for row in rows:
+            assert row["strategy"] == "storm"
+            assert row["tuples"] == 10_000
+            assert row["tuples_per_second"] > 0
+            assert row["latency_p99_ms"] >= row["latency_p50_ms"] > 0
+        # Outcomes are keyed by rate under each strategy.
+        assert set(results["storm"]) == {20_000.0, 80_000.0}
+
+    def test_open_loop_pacing_caps_measured_throughput(self, outcome):
+        _, _, results, _ = outcome
+        slow = results["storm"][20_000.0]
+        # 10k tuples offered at 20k/s must take at least ~0.5 s of schedule.
+        assert slow.wall_seconds > 0.4
+        assert slow.summary()["tuples_per_second"] < 25_000
+
+    def test_sweep_report_passes_the_ci_schema_validation(self, outcome):
+        _, _, _, root = outcome
+        validate_bench = _load_validate_bench()
+        payload = json.loads((root / "BENCH_sweep.json").read_text())
+        assert payload["spec"]["rate_sweep"] == [20_000.0, 80_000.0]
+        assert validate_bench.validate_report(payload) == 2
+        sweep = payload["per_strategy"]["storm"]["rate_sweep"]
+        assert [entry["offered_rate"] for entry in sweep] == [20_000.0, 80_000.0]
+
+    def test_validator_rejects_unordered_sweep_rows(self, outcome):
+        _, _, _, root = outcome
+        validate_bench = _load_validate_bench()
+        payload = json.loads((root / "BENCH_sweep.json").read_text())
+        payload["rows"] = list(reversed(payload["rows"]))
+        with pytest.raises(SystemExit):
+            validate_bench.validate_report(payload)
+
+
 class TestBenchCli:
     def test_bench_command_end_to_end(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)
@@ -331,6 +401,23 @@ class TestBenchCli:
             main(["bench", "wordcount", "--service-time-us", "-5"])
         with pytest.raises(SystemExit):
             main(["bench", "wordcount", "--rate", "-100"])
+
+    def test_bench_rejects_malformed_rate_sweep(self):
+        for bad in ("1000", "1000:2000", "a:b:3", "2000:1000:3", "1000:2000:1"):
+            with pytest.raises(SystemExit):
+                main(["bench", "wordcount", "--rate-sweep", bad])
+        # --rate and --rate-sweep are mutually exclusive (spec-level check).
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                [
+                    "bench",
+                    "wordcount",
+                    "--rate",
+                    "1000",
+                    "--rate-sweep",
+                    "1000:2000:2",
+                ]
+            )
 
     def test_stored_bench_run_is_rerunnable(self, tmp_path, capsys):
         spec = RuntimeSpec(workload="wordcount", strategies=["storm"], **TINY)

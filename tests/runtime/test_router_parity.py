@@ -1,0 +1,319 @@
+"""Vectorized-dispatch parity: the chunk-level router accounting must equal
+the per-tuple scalar reference exactly.
+
+``StreamRouter._dispatch_chunk`` replaced per-tuple dict updates with one
+Counter/``np.bincount``/batched-cost pass per chunk; these property tests pin
+the refactor to a faithful scalar port of the old loop — same freqs, same
+per-task offered tuples/cost, same shed charges and the same per-task batch
+streams (including under pause/resume, mixed interval tags and shedding).
+
+Costs in these tests are dyadic rationals (multiples of 0.25), so scalar
+repeated addition and the vectorized ``counts × cost`` / ``bincount`` sums
+are bit-identical, and the comparisons below are exact ``==``, not approx.
+"""
+
+import queue as queue_module
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hash_only import HashPartitioner
+from repro.engine.operator import OperatorLogic
+from repro.operators.windowed_aggregate import WindowedAggregate
+from repro.runtime.router import StreamRouter
+
+
+class VaryingCostOperator(OperatorLogic):
+    """Per-key (dyadic) costs: exercises the array branch of batch_cost."""
+
+    name = "varying-cost"
+    stateful = True
+
+    def tuple_cost(self, key, value=None):
+        return 0.25 * ((hash(key) & 3) + 1)
+
+
+class _CaptureQueue:
+    """Worker-queue stub recording every batch (accepts the shed timeout)."""
+
+    def __init__(self):
+        self.items = []
+
+    def put(self, item, timeout=None):
+        self.items.append(item)
+
+
+class _FullQueue:
+    """Worker-queue stub that is permanently full (forces shedding)."""
+
+    def put(self, item, timeout=None):
+        raise queue_module.Full
+
+
+class ScalarReference:
+    """Faithful per-tuple port of the pre-vectorization dispatch accounting.
+
+    One dict update per tuple for freqs / offered tuples / offered cost, a
+    per-tuple paused-key test, ``setdefault`` grouping — plus the *intended*
+    resume semantics (buffer grouped by interval tag before re-dispatch).
+    """
+
+    def __init__(self, partitioner, logic, num_tasks, batch_size, failing=()):
+        self.partitioner = partitioner
+        self.logic = logic
+        self.num_tasks = num_tasks
+        self.batch_size = batch_size
+        self.failing = set(failing)
+        self.accounts = {}
+        self.batches = {task: [] for task in range(num_tasks)}
+        self.paused = set()
+        self.buffer = []
+
+    def account(self, tag):
+        account = self.accounts.get(tag)
+        if account is None:
+            account = self.accounts[tag] = {
+                "freqs": {},
+                "offered_tuples": {t: 0.0 for t in range(self.num_tasks)},
+                "offered_cost": {t: 0.0 for t in range(self.num_tasks)},
+                "shed": {},
+            }
+        return account
+
+    def dispatch(self, keys, values, interval):
+        pairs = list(zip(keys, values))
+        for start in range(0, len(pairs), self.batch_size):
+            self._chunk(pairs[start : start + self.batch_size], interval)
+
+    def _chunk(self, chunk, tag):
+        account = self.account(tag)
+        destinations = self.partitioner.assign_batch([key for key, _ in chunk])
+        tuple_cost = self.logic.tuple_cost
+        per_task = {}
+        for (key, value), task in zip(chunk, destinations):
+            account["freqs"][key] = account["freqs"].get(key, 0.0) + 1.0
+            account["offered_tuples"][task] += 1.0
+            account["offered_cost"][task] += tuple_cost(key, value)
+            if key in self.paused:
+                self.buffer.append((key, value, tag))
+                continue
+            per_task.setdefault(task, []).append((key, value))
+        for task, batch in per_task.items():
+            self._put(task, tag, batch)
+
+    def _put(self, task, tag, batch):
+        if task in self.failing:
+            shed = self.account(tag)["shed"]
+            shed[task] = shed.get(task, 0.0) + len(batch)
+            return
+        self.batches[task].append(
+            (tag, [key for key, _ in batch], [value for _, value in batch])
+        )
+
+    def pause(self, keys):
+        self.paused.update(keys)
+
+    def resume(self):
+        self.paused.clear()
+        buffered, self.buffer = self.buffer, []
+        by_tag = {}
+        for entry in buffered:
+            by_tag.setdefault(entry[2], []).append(entry)
+        for tag in sorted(by_tag):
+            entries = by_tag[tag]
+            for start in range(0, len(entries), self.batch_size):
+                chunk = entries[start : start + self.batch_size]
+                destinations = self.partitioner.assign_batch(
+                    [key for key, _, _ in chunk]
+                )
+                per_task = {}
+                for (key, value, _), task in zip(chunk, destinations):
+                    per_task.setdefault(task, []).append((key, value))
+                for task, batch in per_task.items():
+                    self._put(task, tag, batch)
+        return len(buffered)
+
+
+def _captured(queues):
+    return {
+        task: [(batch.interval, batch.keys, batch.values) for batch in queue.items]
+        for task, queue in enumerate(queues)
+        if isinstance(queue, _CaptureQueue)
+    }
+
+
+def _assert_account_parity(router, reference, tags):
+    for tag in tags:
+        account = router.pop_interval(tag)
+        expected = reference.account(tag)
+        # dict == compares 2 and 2.0 equal, so Counter-vs-float is exact here.
+        assert account.freqs == expected["freqs"], f"freqs of interval {tag}"
+        assert account.freqs_dict() == {
+            key: float(count) for key, count in expected["freqs"].items()
+        }
+        assert account.offered_tuples == expected["offered_tuples"]
+        assert account.offered_cost == expected["offered_cost"]
+        assert account.shed == expected["shed"]
+
+
+#: Key pool mixing types: homogeneous chunks take the bulk route memo,
+#: mixed chunks the memo_key fallback — parity must hold either way.
+KEYS = st.one_of(
+    st.integers(min_value=0, max_value=12),
+    st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+    st.booleans(),
+)
+
+SEGMENTS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),
+        st.lists(KEYS, min_size=1, max_size=20),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestDispatchParity:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_vectorized_accounting_equals_scalar_reference(self, data):
+        num_tasks = data.draw(st.integers(1, 4), label="num_tasks")
+        batch_size = data.draw(st.integers(1, 7), label="batch_size")
+        constant_cost = data.draw(st.booleans(), label="constant_cost")
+        segments = data.draw(SEGMENTS, label="segments")
+        pause_after = data.draw(
+            st.integers(0, len(segments)), label="pause_after"
+        )
+        paused_keys = data.draw(st.sets(KEYS, max_size=4), label="paused_keys")
+        failing = data.draw(
+            st.sets(st.integers(0, num_tasks - 1), max_size=1), label="failing"
+        )
+
+        logic = (
+            WindowedAggregate(window=2, cost_per_tuple=0.75)
+            if constant_cost
+            else VaryingCostOperator()
+        )
+        partitioner = HashPartitioner(num_tasks, seed=3)
+        queues = [
+            _FullQueue() if task in failing else _CaptureQueue()
+            for task in range(num_tasks)
+        ]
+        router = StreamRouter(
+            partitioner,
+            logic,
+            queues,
+            batch_size=batch_size,
+            shed_timeout_seconds=0.001 if failing else None,
+        )
+        router.begin_interval(0)
+        reference = ScalarReference(
+            partitioner, logic, num_tasks, batch_size, failing
+        )
+
+        for index, (tag, keys) in enumerate(segments):
+            if index == pause_after:
+                router.pause(paused_keys)
+                reference.pause(paused_keys)
+            values = [f"v{index}.{offset}" for offset in range(len(keys))]
+            router.dispatch(keys, values, interval=tag)
+            reference.dispatch(keys, values, tag)
+
+        assert router.resume() == reference.resume()
+        assert router.paused_keys == frozenset()
+        assert _captured(queues) == {
+            task: stream
+            for task, stream in reference.batches.items()
+            if task not in failing
+        }
+        _assert_account_parity(router, reference, range(4))
+
+
+class TestResumeIntervalGrouping:
+    """Regression: a pause buffer spanning intervals re-tags per interval."""
+
+    def _router(self, num_tasks=1, batch_size=16):
+        queues = [_CaptureQueue() for _ in range(num_tasks)]
+        router = StreamRouter(
+            HashPartitioner(num_tasks, seed=0),
+            WindowedAggregate(),
+            queues,
+            batch_size=batch_size,
+        )
+        router.begin_interval(0)
+        return router, queues
+
+    def test_released_batches_keep_their_interval_tags(self):
+        router, queues = self._router()
+        router.pause(["hot"])
+        router.dispatch(["hot", "hot"], ["a", "b"], interval=3)
+        router.dispatch(["hot"], ["c"], interval=5)
+        assert queues[0].items == []  # everything buffered
+        assert router.resume() == 3
+        released = [(b.interval, b.keys, b.values) for b in queues[0].items]
+        # One batch per buffered interval — NOT one mixed batch tagged 3.
+        assert released == [
+            (3, ["hot", "hot"], ["a", "b"]),
+            (5, ["hot"], ["c"]),
+        ]
+
+    def test_released_batches_chunk_within_an_interval(self):
+        router, queues = self._router(batch_size=2)
+        router.pause(["hot"])
+        router.dispatch(["hot"] * 5, list(range(5)), interval=1)
+        assert router.resume() == 5
+        sizes = [len(batch.keys) for batch in queues[0].items]
+        assert sizes == [2, 2, 1]
+        assert all(batch.interval == 1 for batch in queues[0].items)
+
+    def test_resume_with_empty_buffer_is_a_noop(self):
+        router, queues = self._router()
+        router.pause(["cold"])
+        assert router.resume() == 0
+        assert queues[0].items == []
+
+
+class TestBulkRouteMemoSafety:
+    """The raw-key bulk memo must never conflate equal-but-differently-typed
+    keys (1 / True / 1.0) — the very collisions memo_key exists to avoid."""
+
+    def test_mixed_type_batch_matches_scalar_route(self):
+        partitioner = HashPartitioner(7, seed=11)
+        tricky = [True, 1, 1.0, 0.0, -0.0, "1", b"1", False, 0, (1,)]
+        assert partitioner.assign_batch(tricky) == [
+            partitioner.route(key) for key in tricky
+        ]
+        assert partitioner.assign_batch_array(tricky).tolist() == [
+            partitioner.route(key) for key in tricky
+        ]
+
+    def test_homogeneous_batch_hits_the_bulk_memo(self):
+        partitioner = HashPartitioner(5, seed=2)
+        keys = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+        expected = [partitioner.route(key) for key in keys]
+        # Twice: the second call answers purely from the raw-key memo.
+        assert partitioner.assign_batch(keys) == expected
+        assert partitioner.assign_batch(keys) == expected
+        assert partitioner.assign_batch_array(keys).tolist() == expected
+
+    def test_bulk_memo_survives_type_flips_between_batches(self):
+        partitioner = HashPartitioner(5, seed=2)
+        ints = [1, 2, 3]
+        texts = ["1", "2", "3"]
+        assert partitioner.assign_batch(ints) == [
+            partitioner.route(key) for key in ints
+        ]
+        assert partitioner.assign_batch(texts) == [
+            partitioner.route(key) for key in texts
+        ]
+        assert partitioner.assign_batch(ints) == [
+            partitioner.route(key) for key in ints
+        ]
+
+    def test_invalidate_drops_the_typed_memos(self):
+        partitioner = HashPartitioner(5, seed=2)
+        keys = [1, 2, 3, 4]
+        before = partitioner.assign_batch(keys)
+        partitioner.invalidate_route_cache()
+        assert partitioner.assign_batch(keys) == before

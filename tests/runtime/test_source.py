@@ -43,13 +43,16 @@ class TestProducerProtocol:
         assert isinstance(messages[-1], UpstreamDone)
 
     def test_batches_carry_interval_and_full_payload(self):
-        stream = [[(k, None) for k in range(7)]]
+        stream = [[(k, k * 10) for k in range(7)]]
         messages = _run_source(stream, batch_size=4)
         batches = [m for m in messages if isinstance(m, EmittedBatch)]
-        assert [len(b.tuples) for b in batches] == [4, 3]
+        assert [len(b) for b in batches] == [4, 3]
         assert all(b.interval == 0 for b in batches)
-        replayed = [key for b in batches for key, _ in b.tuples]
+        replayed = [key for b in batches for key in b.keys]
         assert replayed == list(range(7))
+        # The columnar layout keeps keys and values aligned.
+        values = [value for b in batches for value in b.values]
+        assert values == [key * 10 for key in range(7)]
 
     def test_empty_stream_emits_only_done(self):
         messages = _run_source([])
