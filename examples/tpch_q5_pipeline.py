@@ -32,7 +32,9 @@ def main() -> None:
 
     series = {}
     for strategy in ("storm", "readj", "mixed"):
-        def factory(stage_name: str, parallelism: int, _spec=get_strategy(strategy)):
+        strategy_spec = get_strategy(strategy)
+
+        def factory(stage_name: str, parallelism: int, _spec=strategy_spec):
             return _spec.build(
                 parallelism, theta_max=0.1, max_table_size=2_000, window=5, seed=5
             )

@@ -108,6 +108,8 @@ def validate_report(payload: dict) -> int:
     _validate_rate_sweep(spec, rows)
     if "router_micro" in payload:
         _validate_router_micro(payload["router_micro"])
+    if "sanitizer" in payload:
+        _validate_sanitizer(payload["sanitizer"])
     return len(rows)
 
 
@@ -162,6 +164,35 @@ def _validate_router_micro(micro) -> None:
         )
 
 
+def _validate_sanitizer(report) -> None:
+    """The protocol-sanitizer section: zero violations AND non-trivial checks.
+
+    A "clean" report whose check counters are all zero means the sanitizer
+    hooks never fired — a wiring regression, not a clean run — so it fails
+    just like a violation would.
+    """
+    if not isinstance(report, dict):
+        _fail("sanitizer must be an object")
+    if not report.get("enabled"):
+        _fail("sanitizer section present but not marked enabled")
+    violations = report.get("violations")
+    if not isinstance(violations, list):
+        _fail("sanitizer.violations must be a list")
+    if violations:
+        rendered = "; ".join(
+            f"{v.get('check')}@{v.get('stage')}: {v.get('message')}"
+            for v in violations[:5]
+        )
+        _fail(f"sanitizer recorded {len(violations)} violation(s): {rendered}")
+    checks = report.get("checks")
+    if not isinstance(checks, dict) or not checks:
+        _fail("sanitizer.checks is missing or empty (hooks never fired)")
+    if sum(checks.values()) <= 0:
+        _fail(f"sanitizer.checks are all zero: {checks}")
+    if report.get("ok") is not True:
+        _fail("sanitizer.ok must be true when violations are empty")
+
+
 def main(argv) -> int:
     if len(argv) != 1:
         print(__doc__, file=sys.stderr)
@@ -182,6 +213,9 @@ def main(argv) -> int:
         extras.append(
             f"router micro {payload['router_micro']['speedup']:.2f}x"
         )
+    if "sanitizer" in payload:
+        checked = sum(payload["sanitizer"]["checks"].values())
+        extras.append(f"sanitizer clean ({checked} checks)")
     suffix = f" [{', '.join(extras)}]" if extras else ""
     print(f"OK: {path} — {rows} measured rows ({workload}), schema valid{suffix}")
     return 0

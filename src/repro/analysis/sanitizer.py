@@ -1,0 +1,270 @@
+"""The runtime protocol sanitizer: dynamic invariant checks on a live topology.
+
+TSan-style opt-in instrumentation (``REPRO_SANITIZE=1`` or ``repro bench
+--sanitize``): the coordinator wraps each stage's worker queues, router and
+controller with checks asserting the same protocol invariants the static
+rules (:mod:`repro.analysis.rules`) pin at the source level —
+
+* **message_type** — every object crossing a process boundary is a type
+  registered in :mod:`repro.runtime.messages` (the dynamic RPL001);
+* **watermark** — interval markers are strictly monotone, both per worker
+  queue (``EndInterval`` sends) and at the coordinator's interval close;
+* **put_after_close** — nothing is sent to a worker after its
+  ``EndOfStream``;
+* **pause_resume** — pauses and resumes pair up, and no pause is left
+  outstanding at the end of the run (the dynamic RPL003);
+* **conservation** — tuples offered = enqueued to workers + shed, and
+  tuples processed = enqueued (reusing the router/worker parity
+  accounting): a leak or double-count anywhere in the
+  dispatch/pause-buffer/shed plumbing shows up as an imbalance here.
+
+Violations are *recorded*, never raised: a sanitized bench completes and
+reports, exactly so the checker can ride along in CI without turning an
+accounting bug into a wedged pipeline.  The wrappers add two attribute
+lookups and an isinstance per message send — negligible against the pickling
+cost of the send itself — so a sanitized run's numbers remain representative.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
+
+__all__ = [
+    "SanitizedQueue",
+    "SanitizerReport",
+    "StageSanitizer",
+    "Violation",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed protocol-invariant breach."""
+
+    check: str
+    stage: str
+    message: str
+    interval: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "check": self.check,
+            "stage": self.stage,
+            "message": self.message,
+        }
+        if self.interval is not None:
+            data["interval"] = self.interval
+        return data
+
+
+class SanitizerReport:
+    """Thread-safe collector shared by every stage of one sanitized run.
+
+    ``checks`` counts how many times each invariant was *evaluated* — a
+    clean report with zero checks means the sanitizer never engaged, which
+    the bench validator treats as its own failure.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._violations: List[Violation] = []
+        self._checks: Counter = Counter()
+
+    def record(self, violation: Violation) -> None:
+        with self._lock:
+            self._violations.append(violation)
+
+    def count_check(self, check: str, amount: int = 1) -> None:
+        with self._lock:
+            self._checks[check] += amount
+
+    @property
+    def violations(self) -> List[Violation]:
+        with self._lock:
+            return list(self._violations)
+
+    @property
+    def ok(self) -> bool:
+        with self._lock:
+            return not self._violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "enabled": True,
+                "ok": not self._violations,
+                "checks": dict(self._checks),
+                "violations": [v.to_dict() for v in self._violations],
+            }
+
+
+def _message_registry() -> Set[str]:
+    from repro.runtime import messages
+
+    return set(messages.__all__)
+
+
+class StageSanitizer:
+    """Per-stage monitor: all hooks run on the stage's router thread."""
+
+    def __init__(
+        self,
+        stage: str,
+        report: SanitizerReport,
+        message_types: Optional[Set[str]] = None,
+    ) -> None:
+        self.stage = stage
+        self.report = report
+        self._registry = (
+            message_types if message_types is not None else _message_registry()
+        )
+        #: Last EndInterval sent per task (strict monotonicity).
+        self._last_marker: Dict[int, int] = {}
+        #: Tasks whose EndOfStream already went out.
+        self._closed_tasks: Set[int] = set()
+        #: Last coordinator-side interval close.
+        self._last_closed: Optional[int] = None
+        #: Outstanding pauses (pause() calls minus resume() calls).
+        self._pause_depth = 0
+        #: Tuples enqueued onto worker queues (TupleBatch payload sizes).
+        self._enqueued = 0
+
+    def _violate(
+        self, check: str, message: str, interval: Optional[int] = None
+    ) -> None:
+        self.report.record(
+            Violation(
+                check=check, stage=self.stage, message=message, interval=interval
+            )
+        )
+
+    # -- queue sends -----------------------------------------------------
+
+    def on_send(self, task: int, message: Any) -> None:
+        """Called after each successful put onto worker ``task``'s queue."""
+        type_name = type(message).__name__
+        self.report.count_check("message_type")
+        if type_name not in self._registry:
+            self._violate(
+                "message_type",
+                f"unregistered message type {type_name!r} sent to task {task}",
+            )
+        if task in self._closed_tasks:
+            self.report.count_check("put_after_close")
+            self._violate(
+                "put_after_close",
+                f"{type_name} sent to task {task} after its EndOfStream",
+            )
+        interval = getattr(message, "interval", None)
+        if type_name == "EndInterval" and interval is not None:
+            self.report.count_check("watermark")
+            last = self._last_marker.get(task)
+            if last is not None and interval <= last:
+                self._violate(
+                    "watermark",
+                    f"EndInterval marker went backwards on task {task}: "
+                    f"{interval} after {last}",
+                    interval=interval,
+                )
+            self._last_marker[task] = interval
+        if type_name == "EndOfStream":
+            self._closed_tasks.add(task)
+        keys = getattr(message, "keys", None)
+        if type_name == "TupleBatch" and keys is not None:
+            self._enqueued += len(keys)
+
+    # -- coordinator interval close --------------------------------------
+
+    def on_close(self, interval: int) -> None:
+        self.report.count_check("watermark")
+        if self._last_closed is not None and interval <= self._last_closed:
+            self._violate(
+                "watermark",
+                f"interval close went backwards: {interval} after "
+                f"{self._last_closed}",
+                interval=interval,
+            )
+        self._last_closed = interval
+
+    # -- pause/resume ----------------------------------------------------
+
+    def on_pause(self, keys: Any) -> None:
+        self.report.count_check("pause_resume")
+        self._pause_depth += 1
+
+    def on_resume(self) -> None:
+        self.report.count_check("pause_resume")
+        if self._pause_depth <= 0:
+            self._violate(
+                "pause_resume", "resume() without a matching pause()"
+            )
+        else:
+            self._pause_depth -= 1
+
+    def wrap_router(self, router: Any) -> None:
+        """Shadow the router's pause/resume with monitored versions."""
+        inner_pause = router.pause
+        inner_resume = router.resume
+        sanitizer = self
+
+        def pause(keys: Any) -> Any:
+            sanitizer.on_pause(keys)
+            return inner_pause(keys)
+
+        def resume() -> Any:
+            sanitizer.on_resume()
+            return inner_resume()
+
+        router.pause = pause
+        router.resume = resume
+
+    # -- end-of-run conservation -----------------------------------------
+
+    def finalize(self, offered: float, processed: float, shed: float) -> None:
+        """Close the books: pause pairing and tuple conservation.
+
+        ``offered`` is the router's per-interval dispatch accounting,
+        ``processed`` the workers' final-report sum, ``shed`` the shed
+        ledger; the sanitizer's own ``enqueued`` count (successful
+        ``TupleBatch`` puts) must reconcile both sides:
+        ``offered = enqueued + shed`` and ``processed = enqueued``.
+        """
+        self.report.count_check("pause_resume")
+        if self._pause_depth > 0:
+            self._violate(
+                "pause_resume",
+                f"{self._pause_depth} pause(s) never resumed by end of run",
+            )
+        self.report.count_check("conservation", 2)
+        if round(offered) != round(self._enqueued + shed):
+            self._violate(
+                "conservation",
+                f"offered {offered:g} != enqueued {self._enqueued} + "
+                f"shed {shed:g}",
+            )
+        if round(processed) != self._enqueued:
+            self._violate(
+                "conservation",
+                f"processed {processed:g} != enqueued {self._enqueued}",
+            )
+
+
+class SanitizedQueue:
+    """Worker-queue proxy feeding every send through a :class:`StageSanitizer`.
+
+    Wraps the coordinator-side abort-aware proxy; the monitor hook runs
+    *after* a successful put so a shed (timed-out) dispatch is not counted
+    as enqueued.
+    """
+
+    def __init__(self, abortable: Any, task: int, sanitizer: StageSanitizer):
+        self._abortable = abortable
+        self._task = task
+        self._sanitizer = sanitizer
+
+    def put(self, item: Any, timeout: Optional[float] = None) -> None:
+        self._abortable.put(item, timeout=timeout)
+        self._sanitizer.on_send(self._task, item)

@@ -8,6 +8,9 @@ Commands::
     python -m repro bench wordcount --parallelism 4   # wall-clock process bench
     python -m repro bench tpch_q5_chain --parallelism 2  # 3-stage Q5 topology
     python -m repro bench tpch_q5_chain --rate-sweep 5000:40000:5  # Fig. 13 knee
+    python -m repro bench tpch_q5_chain --sanitize    # + runtime protocol sanitizer
+    python -m repro lint                              # protocol static checker (src/)
+    python -m repro lint --strict src tests           # CI gate, no baseline
     python -m repro list                              # experiments + strategies
     python -m repro list --runs                       # stored runs
     python -m repro report                            # render the latest run
@@ -57,8 +60,10 @@ def _positive_int(text: str) -> int:
     """argparse type: a strictly positive integer (e.g. ``--parallelism``)."""
     try:
         value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from exc
     if value <= 0:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
     return value
@@ -70,10 +75,10 @@ def _service_time(text: str) -> Any:
         return "auto"
     try:
         value = float(text)
-    except ValueError:
+    except ValueError as exc:
         raise argparse.ArgumentTypeError(
             f"expected microseconds or 'auto', got {text!r}"
-        )
+        ) from exc
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"service time must be non-negative, got {value}"
@@ -95,10 +100,10 @@ def _parse_rate_sweep(text: str) -> List[float]:
     try:
         low, high = float(parts[0]), float(parts[1])
         steps = int(parts[2])
-    except ValueError:
+    except ValueError as exc:
         raise argparse.ArgumentTypeError(
             f"expected numeric LO:HI and integer STEPS, got {text!r}"
-        )
+        ) from exc
     if low <= 0 or high <= low:
         raise argparse.ArgumentTypeError(
             f"need 0 < LO < HI, got LO={parts[0]} HI={parts[1]}"
@@ -122,11 +127,11 @@ def _parse_stage_parallelism(pairs: Sequence[str]) -> Dict[str, int]:
             )
         try:
             workers = int(count)
-        except ValueError:
+        except ValueError as exc:
             raise SystemExit(
                 f"--stage-parallelism {stage}: expected an integer worker "
                 f"count, got {count!r}"
-            )
+            ) from exc
         if workers <= 0:
             raise SystemExit(
                 f"--stage-parallelism {stage}: worker count must be positive, "
@@ -276,6 +281,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="shed a batch blocked longer than this (default: pure backpressure)",
     )
     benchp.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "enable the runtime protocol sanitizer (invariant checks on "
+            "every send, interval close and pause/resume; violations are "
+            "recorded in the report, and a non-empty report fails the run)"
+        ),
+    )
+    benchp.add_argument(
         "--output",
         default="BENCH_runtime.json",
         help="standalone JSON report path (default ./BENCH_runtime.json)",
@@ -303,6 +317,53 @@ def build_parser() -> argparse.ArgumentParser:
     reportp.add_argument(
         "--results-dir", default="results", help="ResultsStore root (default ./results)"
     )
+
+    lintp = sub.add_parser(
+        "lint",
+        help="protocol static checker (rules RPL001-RPL005, repro.analysis)",
+    )
+    lintp.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lintp.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule IDs to run (default: all five)",
+    )
+    lintp.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule IDs with their one-line descriptions and exit",
+    )
+    lintp.add_argument(
+        "--strict",
+        action="store_true",
+        help="ignore the baseline: every unsuppressed finding fails (CI gate)",
+    )
+    lintp.add_argument(
+        "--baseline",
+        default=".repro-lint-baseline.json",
+        metavar="PATH",
+        help=(
+            "known-findings baseline file (default ./.repro-lint-baseline."
+            "json; silently skipped when absent)"
+        ),
+    )
+    lintp.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit",
+    )
+    lintp.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
     return parser
 
 
@@ -327,7 +388,7 @@ def _specs_for(args: argparse.Namespace) -> List[Any]:
                 payload = payload["spec"]  # a stored run.json wraps its spec
             base = ExperimentSpec.from_dict(payload)
         except (ValueError, KeyError) as exc:
-            raise SystemExit(f"invalid spec file {target}: {exc}")
+            raise SystemExit(f"invalid spec file {target}: {exc}") from exc
         names = [None]
     elif target == "all":
         base = ExperimentSpec("all")
@@ -433,7 +494,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.store import ResultsStore
-    from repro.runtime.bench import DEFAULT_STRATEGIES, RuntimeSpec, run_bench
+    from repro.runtime.bench import (
+        DEFAULT_STRATEGIES,
+        RuntimeSpec,
+        merged_sanitizer_report,
+        run_bench,
+    )
 
     strategies = (
         [name for name in args.strategies.split(",") if name]
@@ -457,9 +523,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             queue_capacity=args.queue_capacity,
             shed_timeout_seconds=args.shed_timeout,
+            sanitize=args.sanitize,
         )
     except (KeyError, TypeError, ValueError) as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
     store = None if args.no_save else ResultsStore(args.results_dir)
 
     def progress(name: str, outcome) -> None:
@@ -474,7 +541,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"pause={summary['pause_seconds']:.3f}s]"
         )
 
-    run, _ = run_bench(
+    run, outcomes = run_bench(
         spec, store=store, output_path=args.output, on_result=progress
     )
     if not args.quiet:
@@ -485,7 +552,88 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"[bench {spec.workload} engine={meta.engine} cpus={meta.host_cpu_count} "
         f"{meta.wall_time_seconds:.1f}s report={args.output}{location}]"
     )
+    sanitizer = merged_sanitizer_report(outcomes)
+    if sanitizer is not None:
+        checks = ", ".join(
+            f"{check}={count}"
+            for check, count in sorted(sanitizer["checks"].items())
+        )
+        status = (
+            "clean"
+            if sanitizer["ok"]
+            else f"{len(sanitizer['violations'])} violation(s)"
+        )
+        print(f"[sanitizer: {status}; checks: {checks}]")
+        for violation in sanitizer["violations"]:
+            print(
+                f"  ! {violation['check']} @ {violation['stage']}: "
+                f"{violation['message']}"
+            )
+        if not sanitizer["ok"]:
+            return 1
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.engine import LintEngine
+    from repro.analysis.findings import Baseline
+    from repro.analysis.rules import ALL_RULES, get_rules
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            first_line = (rule.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule.rule_id}  {first_line}")
+        return 0
+
+    rule_ids = (
+        [rule_id for rule_id in args.rules.split(",") if rule_id]
+        if args.rules is not None
+        else None
+    )
+    try:
+        rules = get_rules(rule_ids)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    paths = [Path(path) for path in args.paths]
+    for path in paths:
+        if not path.exists():
+            raise SystemExit(f"lint path not found: {path}")
+    findings = LintEngine(rules, root=Path.cwd()).run(paths)
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    if not args.strict and baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+        fresh = baseline.filter_new(findings)
+    else:
+        fresh = list(findings)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {"findings": [finding.to_dict() for finding in fresh]},
+                indent=1,
+            )
+        )
+    else:
+        for finding in fresh:
+            print(finding.render())
+        grandfathered = len(findings) - len(fresh)
+        note = f" ({grandfathered} baselined)" if grandfathered else ""
+        mode = "lint --strict" if args.strict else "lint"
+        print(
+            f"[{mode}: {len(fresh)} finding(s){note}; rules: "
+            f"{', '.join(rule.rule_id for rule in rules)}; paths: "
+            f"{', '.join(str(path) for path in paths)}]"
+        )
+    return 1 if fresh else 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -532,7 +680,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     try:
         outcome = store.load(run_id)
     except KeyError as exc:
-        raise SystemExit(str(exc))
+        raise SystemExit(str(exc)) from exc
     meta = outcome.metadata
     print(
         f"run {meta.run_id} (experiment={meta.experiment}, scale={meta.scale}, "
@@ -553,6 +701,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.assignment import AssignmentFunction
 from repro.core.criteria import DEFAULT_BETA, gamma_index
@@ -198,12 +198,19 @@ class CompactMixedPlanner:
     without falling back to per-key work.
     """
 
+    #: Sentinel distinguishing "use the default ladder" from an explicit
+    #: ``discretizer=None`` (no discretisation, the original-key-space
+    #: baseline of Fig. 11(a)).
+    _DEFAULT_DISCRETIZER = object()
+
     def __init__(
         self,
-        discretizer: Optional[HLHEDiscretizer] = HLHEDiscretizer(8),
+        discretizer: Any = _DEFAULT_DISCRETIZER,
         max_rounds: int = 64,
     ) -> None:
-        self.discretizer = discretizer
+        if discretizer is self._DEFAULT_DISCRETIZER:
+            discretizer = HLHEDiscretizer(8)
+        self.discretizer: Optional[HLHEDiscretizer] = discretizer
         self.max_rounds = max_rounds
 
     name = "compact-mixed"
@@ -311,15 +318,12 @@ class CompactMixedPlanner:
                 task_records[record.next_dest].append(record)
 
         for task in range(num_tasks):
+            recs = task_records[task]
             ordered = sorted(
-                range(len(task_records[task])),
-                key=lambda idx: (
-                    -gamma_index(
-                        task_records[task][idx].cost,
-                        task_records[task][idx].memory,
-                        config.beta,
-                    ),
-                    repr(task_records[task][idx].signature),
+                range(len(recs)),
+                key=lambda idx, recs=recs: (
+                    -gamma_index(recs[idx].cost, recs[idx].memory, config.beta),
+                    repr(recs[idx].signature),
                 ),
             )
             excess = loads[task] - ceiling

@@ -324,7 +324,7 @@ class _StageRuntime:
             generation_time = rebalance.generation_time
             table_size = rebalance.table_size
         elif hasattr(partitioner, "routing_table_size"):
-            table_size = getattr(partitioner, "routing_table_size")
+            table_size = partitioner.routing_table_size
 
         record = IntervalMetrics(
             interval=interval,
@@ -353,7 +353,7 @@ class _StageRuntime:
         # selectivity and re-keyed.
         out_freqs: Dict[Key, float] = {}
         if self.stage.selectivity > 0:
-            for task_id, freqs in served_freqs.items():
+            for freqs in served_freqs.values():
                 for key, count in freqs.items():
                     out_key = self.stage.map_key(key)
                     out_freqs[out_key] = (

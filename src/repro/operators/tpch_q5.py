@@ -117,7 +117,7 @@ class DimensionJoin(WindowedJoin):
                 key,
                 interval,
                 state_per_tuple,
-                payload_update=lambda old: (old or []) + [value],
+                payload_update=lambda old, value=value: (old or []) + [value],
             )
             append((value, lookup(key)))
         return list(keys), out_values

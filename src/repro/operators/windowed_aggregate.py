@@ -117,7 +117,7 @@ class WindowedAggregate(OperatorLogic):
                     key,
                     interval,
                     state_per_tuple,
-                    payload_update=lambda old: reducer(old, value),
+                    payload_update=lambda old, value=value: reducer(old, value),
                 )
             )
         return list(keys), out_values
@@ -179,7 +179,7 @@ class PartialWindowedAggregate(WindowedAggregate):
                 key,
                 interval,
                 state_per_tuple,
-                payload_update=lambda old: reducer(old, value),
+                payload_update=lambda old, value=value: reducer(old, value),
             )
             append((task_id, partial))
         return list(keys), out_values

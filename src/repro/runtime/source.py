@@ -27,9 +27,10 @@ traces into this shape).
 from __future__ import annotations
 
 import time
-from typing import Any, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro.runtime.messages import EmittedBatch, UpstreamDone, UpstreamMark
+from repro.runtime.queues import QueueAborted, abortable_put
 
 __all__ = ["SOURCE_PRODUCER_ID", "source_main"]
 
@@ -44,12 +45,31 @@ def source_main(
     out_queue: Any,
     batch_size: int,
     rate_tuples_per_s: Optional[float] = None,
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> None:
     """Entry point of the source process (must stay module-level picklable).
 
     Offers ``stream``'s tuples interval by interval in ``batch_size`` chunks,
     each followed by its interval mark and finally an end-of-stream mark.
+
+    Offer puts are abort-aware (``should_abort`` defaults to "my parent
+    process died"): a source blocked on a full queue whose topology already
+    tore down exits cleanly instead of outliving the run.
     """
+    try:
+        _source_loop(stream, out_queue, batch_size, rate_tuples_per_s, should_abort)
+    except QueueAborted:
+        # The coordinator is gone; nobody will drain the queue again.
+        return
+
+
+def _source_loop(
+    stream: Sequence[List[Tuple[Key, Any]]],
+    out_queue: Any,
+    batch_size: int,
+    rate_tuples_per_s: Optional[float],
+    should_abort: Optional[Callable[[], bool]],
+) -> None:
     interval_pace = 1.0 / rate_tuples_per_s if rate_tuples_per_s else 0.0
     started = time.monotonic()
     offered = 0
@@ -69,16 +89,22 @@ def source_main(
                 origin = scheduled
             else:
                 origin = time.monotonic()
-            out_queue.put(
+            abortable_put(
+                out_queue,
                 EmittedBatch(
                     interval=interval,
                     origin_at=origin,
                     keys=chunk_keys,
                     values=chunk_values,
-                )
+                ),
+                should_abort,
             )
             offered += len(chunk_keys)
-        out_queue.put(
-            UpstreamMark(producer_id=SOURCE_PRODUCER_ID, interval=interval)
+        abortable_put(
+            out_queue,
+            UpstreamMark(producer_id=SOURCE_PRODUCER_ID, interval=interval),
+            should_abort,
         )
-    out_queue.put(UpstreamDone(producer_id=SOURCE_PRODUCER_ID))
+    abortable_put(
+        out_queue, UpstreamDone(producer_id=SOURCE_PRODUCER_ID), should_abort
+    )

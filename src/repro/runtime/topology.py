@@ -34,6 +34,7 @@ one-stage special case of this machinery.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_module
 import threading
 import time
@@ -52,6 +53,11 @@ from typing import (
     Type,
 )
 
+from repro.analysis.sanitizer import (
+    SanitizedQueue,
+    SanitizerReport,
+    StageSanitizer,
+)
 from repro.baselines.base import Partitioner
 from repro.core.load import max_balance_indicator, max_skewness
 from repro.core.statistics import IntervalStats
@@ -128,6 +134,13 @@ class RuntimeConfig:
     collect_final_state:
         Ask workers to report their final windowed per-key payloads
         (correctness tests; expensive for large state).
+    sanitize:
+        Enable the runtime protocol sanitizer
+        (:mod:`repro.analysis.sanitizer`): invariant checks on every
+        coordinator→worker send, interval close, and pause/resume, plus
+        end-of-run tuple conservation; violations are recorded into the
+        result's ``sanitizer`` report instead of raised.  Also enabled by
+        the ``REPRO_SANITIZE`` environment variable.
     start_method:
         ``multiprocessing`` start method; default picks ``fork`` when the
         platform offers it, else ``spawn``.
@@ -144,6 +157,7 @@ class RuntimeConfig:
     calibration_headroom: float = 2.0
     shed_timeout_seconds: Optional[float] = None
     collect_final_state: bool = False
+    sanitize: bool = False
     start_method: Optional[str] = None
     join_timeout_seconds: float = 120.0
 
@@ -260,6 +274,9 @@ class RuntimeResult:
     e2e_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     #: Pacing installed by the adaptive calibration (``None`` = not calibrated).
     calibrated_service_time_us: Optional[float] = None
+    #: Protocol-sanitizer report of the run (``None`` = sanitizer off); the
+    #: report is run-global, so every stage of one topology shares it.
+    sanitizer: Optional[Dict[str, Any]] = None
 
     @property
     def tuples_per_second(self) -> float:
@@ -306,6 +323,8 @@ class TopologyResult:
     stages: Dict[str, RuntimeResult]
     wall_seconds: float = 0.0
     tuples_offered: int = 0
+    #: Protocol-sanitizer report (``None`` = sanitizer off).
+    sanitizer: Optional[Dict[str, Any]] = None
 
     @property
     def stage_names(self) -> List[str]:
@@ -535,6 +554,7 @@ class _StageLoop(threading.Thread):
         upstream_producers: int,
         abort: _AbortFlag,
         source_process: Optional[Any] = None,
+        sanitizer: Optional[StageSanitizer] = None,
     ) -> None:
         super().__init__(name=f"repro-stage-{spec.name}", daemon=True)
         self.spec = spec
@@ -554,9 +574,16 @@ class _StageLoop(threading.Thread):
         self.mailbox = _Mailbox(
             out_queue, config.join_timeout_seconds, checker=self._checkpoint
         )
-        guarded = [
+        guarded: List[Any] = [
             _AbortableQueue(queue, self._checkpoint) for queue in worker_queues
         ]
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            # Every coordinator→worker send funnels through the monitor.
+            guarded = [
+                SanitizedQueue(queue, task, sanitizer)
+                for task, queue in enumerate(guarded)
+            ]
         self.router = StreamRouter(
             spec.partitioner,
             spec.logic,
@@ -568,6 +595,8 @@ class _StageLoop(threading.Thread):
             spec.partitioner, self.router, guarded, self.mailbox
         )
         self._guarded_queues = guarded
+        if sanitizer is not None:
+            sanitizer.wrap_router(self.router)
 
         # Filled by the loop, read by the coordinator after join().
         self.interval_rows: List[Dict[str, Any]] = []
@@ -672,18 +701,20 @@ class _StageLoop(threading.Thread):
         # shipped state, release the buffered tuples) before EOS.
         self.controller.finish_pending()
         self._draining = True
-        for task_queue in self._guarded_queues:
-            task_queue.put(EndOfStream(collect_state=config.collect_final_state))
+        for guarded_queue in self._guarded_queues:
+            guarded_queue.put(EndOfStream(collect_state=config.collect_final_state))
         self.finals = self.mailbox.collect(FinalReport, self.spec.parallelism)
         self.interval_reports.extend(self.mailbox.drain(IntervalReport))
 
     def _close_interval(self, interval: int) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_close(interval)
         # Finish any hand-off BEFORE the markers: tuples released by resume()
         # belong to this interval and must precede its EndInterval in the
         # FIFO queues to be counted in it.
         self.controller.finish_pending()
-        for task_queue in self._guarded_queues:
-            task_queue.put(EndInterval(interval=interval))
+        for guarded_queue in self._guarded_queues:
+            guarded_queue.put(EndInterval(interval=interval))
         if self.config.calibrate_pacing and interval == 0:
             self._calibrate()
         # The closing interval's own accounting bucket: early batches of the
@@ -735,8 +766,8 @@ class _StageLoop(threading.Thread):
             self.config.calibration_headroom,
         )
         if service_us > 0:
-            for task_queue in self._guarded_queues:
-                task_queue.put(SetServiceTime(service_time_us=service_us))
+            for guarded_queue in self._guarded_queues:
+                guarded_queue.put(SetServiceTime(service_time_us=service_us))
             self.calibrated_us = service_us
 
     def _interval_stats(
@@ -836,6 +867,12 @@ class _StageLoop(threading.Thread):
         offered_total = int(
             sum(row["offered_tuples"] for row in self.interval_rows)
         )
+        if self.sanitizer is not None:
+            self.sanitizer.finalize(
+                offered=float(offered_total),
+                processed=float(processed_total),
+                shed=self.router.shed_ledger.total,
+            )
         return RuntimeResult(
             label=self.spec.name,
             metrics=metrics,
@@ -887,6 +924,10 @@ class TopologyRuntime:
             )
         context = multiprocessing.get_context(method)
         abort = _AbortFlag()
+        sanitize = config.sanitize or os.environ.get(
+            "REPRO_SANITIZE", ""
+        ).lower() in {"1", "true", "yes", "on"}
+        sanitizer_report = SanitizerReport() if sanitize else None
 
         stages = self.spec.stages
         source_queue = context.Queue(maxsize=max(2, config.queue_capacity))
@@ -950,6 +991,11 @@ class TopologyRuntime:
                     ),
                     abort=abort,
                     source_process=source if index == 0 else None,
+                    sanitizer=(
+                        StageSanitizer(stage.name, sanitizer_report)
+                        if sanitizer_report is not None
+                        else None
+                    ),
                 )
             )
 
@@ -978,11 +1024,20 @@ class TopologyRuntime:
         stage_results = {
             loop.spec.name: loop.aggregate(wall_seconds) for loop in loops
         }
+        # The sanitizer report is run-global; attach the final dict (after
+        # every stage's conservation finalize) everywhere results travel.
+        report_dict = (
+            sanitizer_report.to_dict() if sanitizer_report is not None else None
+        )
+        if report_dict is not None:
+            for result in stage_results.values():
+                result.sanitizer = report_dict
         return TopologyResult(
             label=self.label,
             stages=stage_results,
             wall_seconds=wall_seconds,
             tuples_offered=stage_results[stages[0].name].tuples_offered,
+            sanitizer=report_dict,
         )
 
     @staticmethod

@@ -45,6 +45,7 @@ from typing import Any, Callable, Hashable, Optional
 
 from repro.engine.operator import OperatorLogic, Task
 from repro.runtime.histogram import LatencyHistogram
+from repro.runtime.queues import QueueAborted, abortable_get, abortable_put
 from repro.runtime.messages import (
     EmittedBatch,
     EndInterval,
@@ -76,14 +77,38 @@ def worker_main(
     service_time_us: float,
     egress: Any = None,
     key_mapper: Optional[KeyMapper] = None,
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> None:
-    """Entry point of one worker process (must stay module-level picklable)."""
+    """Entry point of one worker process (must stay module-level picklable).
+
+    Every blocking queue operation is abort-aware: ``should_abort`` (default:
+    "my parent process died") is re-checked between short waits, so a worker
+    whose coordinator crashed or wedged exits cleanly instead of blocking
+    forever on a queue nobody will ever feed or drain again.
+    """
     try:
         _worker_loop(
-            worker_id, logic, in_queue, out_queue, service_time_us, egress, key_mapper
+            worker_id,
+            logic,
+            in_queue,
+            out_queue,
+            service_time_us,
+            egress,
+            key_mapper,
+            should_abort,
         )
+    except QueueAborted:
+        # The coordinator is gone; exiting *is* the clean teardown.
+        return
     except Exception:  # pragma: no cover - crash path, surfaced by coordinator
-        out_queue.put(WorkerError(worker_id=worker_id, message=traceback.format_exc()))
+        try:
+            abortable_put(
+                out_queue,
+                WorkerError(worker_id=worker_id, message=traceback.format_exc()),
+                should_abort,
+            )
+        except QueueAborted:
+            pass
 
 
 def _worker_loop(
@@ -94,6 +119,7 @@ def _worker_loop(
     service_time_us: float,
     egress: Any,
     key_mapper: Optional[KeyMapper],
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> None:
     task = Task(worker_id, logic)
     histogram = LatencyHistogram()
@@ -124,7 +150,7 @@ def _worker_loop(
         return bucket
 
     while True:
-        message = in_queue.get()
+        message = abortable_get(in_queue, should_abort)
 
         if isinstance(message, TupleBatch):
             started = time.monotonic()
@@ -165,13 +191,15 @@ def _worker_loop(
             if egress is not None and out_keys:
                 if key_mapper is not None:
                     out_keys = [key_mapper(key) for key in out_keys]
-                egress.put(
+                abortable_put(
+                    egress,
                     EmittedBatch(
                         interval=interval,
                         origin_at=message.origin_at or message.sent_at,
                         keys=out_keys,
                         values=out_values,
-                    )
+                    ),
+                    should_abort,
                 )
 
         elif isinstance(message, EndInterval):
@@ -196,7 +224,8 @@ def _worker_loop(
                 closed[2] += bucket[2]
                 closed[3] += bucket[3]
                 closed[4].merge(bucket[4])
-            out_queue.put(
+            abortable_put(
+                out_queue,
                 IntervalReport(
                     worker_id=worker_id,
                     interval=message.interval,
@@ -205,11 +234,14 @@ def _worker_loop(
                     busy_seconds=closed[2],
                     latency_us_sum=closed[3],
                     histogram=closed[4].to_dict(),
-                )
+                ),
+                should_abort,
             )
             if egress is not None:
-                egress.put(
-                    UpstreamMark(producer_id=worker_id, interval=message.interval)
+                abortable_put(
+                    egress,
+                    UpstreamMark(producer_id=worker_id, interval=message.interval),
+                    should_abort,
                 )
 
         elif isinstance(message, ExtractKeys):
@@ -217,10 +249,12 @@ def _worker_loop(
             shipped = sum(
                 size for _, snapshot in entries for _, _, size in snapshot
             )
-            out_queue.put(
+            abortable_put(
+                out_queue,
                 StateShipment(
                     worker_id=worker_id, entries=entries, state_size=shipped
-                )
+                ),
+                should_abort,
             )
 
         elif isinstance(message, InstallState):
@@ -231,8 +265,10 @@ def _worker_loop(
                 for bucket_interval, _payload, _size in snapshot:
                     if bucket_interval > floor_interval:
                         floor_interval = bucket_interval
-            out_queue.put(
-                InstallAck(worker_id=worker_id, installed_keys=len(message.entries))
+            abortable_put(
+                out_queue,
+                InstallAck(worker_id=worker_id, installed_keys=len(message.entries)),
+                should_abort,
             )
 
         elif isinstance(message, SetServiceTime):
@@ -245,11 +281,14 @@ def _worker_loop(
                     key: task.state.payloads(key) for key in task.state.keys()
                 }
             if egress is not None:
-                egress.put(UpstreamDone(producer_id=worker_id))
+                abortable_put(
+                    egress, UpstreamDone(producer_id=worker_id), should_abort
+                )
             tail = LatencyHistogram()
             for bucket in marks.values():
                 tail.merge(bucket[4])
-            out_queue.put(
+            abortable_put(
+                out_queue,
                 FinalReport(
                     worker_id=worker_id,
                     processed=task.metrics.tuples_processed,
@@ -264,7 +303,8 @@ def _worker_loop(
                     tail_histogram=tail.to_dict(),
                     e2e_histogram=e2e_histogram.to_dict() if final_stage else {},
                     service_time_us=service_time_s * 1e6,
-                )
+                ),
+                should_abort,
             )
             return
 

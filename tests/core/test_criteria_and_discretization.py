@@ -163,7 +163,7 @@ class TestHLHEDiscretizer:
     def test_each_value_maps_to_a_representative(self, values, degree):
         discretizer = HLHEDiscretizer(degree)
         ladder = set(representative_values(max(values), degree))
-        for original, rounded in zip(values, discretizer.discretize(values)):
+        for _original, rounded in zip(values, discretizer.discretize(values)):
             assert rounded in ladder
 
     def test_fewer_distinct_values_with_larger_degree(self):

@@ -323,6 +323,41 @@ class TestRateSweep:
             validate_bench.validate_report(payload)
 
 
+class TestSanitizerSectionValidation:
+    """validate_bench on the optional 'sanitizer' report section."""
+
+    def _clean_section(self):
+        return {
+            "enabled": True,
+            "ok": True,
+            "checks": {"message_type": 100, "watermark": 10, "conservation": 2},
+            "violations": [],
+        }
+
+    def test_clean_section_passes(self):
+        validate_bench = _load_validate_bench()
+        validate_bench._validate_sanitizer(self._clean_section())
+
+    def test_violations_fail(self):
+        validate_bench = _load_validate_bench()
+        section = self._clean_section()
+        section["ok"] = False
+        section["violations"] = [
+            {"check": "watermark", "stage": "agg", "message": "went backwards"}
+        ]
+        with pytest.raises(SystemExit):
+            validate_bench._validate_sanitizer(section)
+
+    def test_zero_checks_fail_even_when_clean(self):
+        # All-zero counters mean the hooks never fired: a wiring regression
+        # masquerading as a clean run.
+        validate_bench = _load_validate_bench()
+        section = self._clean_section()
+        section["checks"] = {}
+        with pytest.raises(SystemExit):
+            validate_bench._validate_sanitizer(section)
+
+
 class TestBenchCli:
     def test_bench_command_end_to_end(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)

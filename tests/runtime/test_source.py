@@ -14,7 +14,7 @@ class _ListQueue:
     def __init__(self):
         self.items = []
 
-    def put(self, item):
+    def put(self, item, timeout=None):
         self.items.append(item)
 
 
