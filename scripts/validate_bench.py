@@ -106,6 +106,7 @@ def validate_report(payload: dict) -> int:
         )
 
     _validate_rate_sweep(spec, rows)
+    _validate_resilience(spec, per_strategy)
     if "router_micro" in payload:
         _validate_router_micro(payload["router_micro"])
     if "sanitizer" in payload:
@@ -143,6 +144,98 @@ def _validate_rate_sweep(spec: dict, rows: list) -> None:
             _fail(
                 f"strategy {strategy!r}: {len(rates)} swept rows but "
                 f"spec.rate_sweep has {len(sweep)} rates"
+            )
+
+
+#: Measured quantities of one supervised-recovery incident.
+REQUIRED_INCIDENT_KEYS = (
+    "stage",
+    "task",
+    "interval",
+    "recovery_pause_seconds",
+    "restore_seconds",
+)
+
+#: Measured quantities of one elastic resize.
+REQUIRED_SCALE_EVENT_KEYS = (
+    "stage",
+    "interval",
+    "delta",
+    "from_tasks",
+    "to_tasks",
+    "moved_keys",
+    "rebalance_pause_seconds",
+)
+
+
+def _validate_resilience(spec: dict, per_strategy: dict) -> None:
+    """The resilience section: measured incidents/resizes match the spec.
+
+    A spec that injects a kill (``spec.kill_worker``) must produce at least
+    one recovery incident per strategy, and a spec that schedules a resize
+    (``spec.scale_at``) at least one scale event — a report that silently
+    dropped the injection would otherwise read as a flawless run.
+    """
+    kill_expected = bool(spec.get("kill_worker"))
+    scale_expected = bool(spec.get("scale_at"))
+    for strategy, report in per_strategy.items():
+        if not isinstance(report, dict):
+            _fail(f"per_strategy[{strategy!r}] is not an object")
+        resilience = report.get("resilience")
+        if resilience is None:
+            if kill_expected or scale_expected:
+                _fail(
+                    f"spec injects kill_worker/scale_at but strategy "
+                    f"{strategy!r} has no resilience section"
+                )
+            continue
+        label = f"per_strategy[{strategy!r}].resilience"
+        if not isinstance(resilience, dict):
+            _fail(f"{label} is not an object")
+        incidents = resilience.get("incidents")
+        scale_events = resilience.get("scale_events")
+        if not isinstance(incidents, list) or not isinstance(scale_events, list):
+            _fail(f"{label} needs 'incidents' and 'scale_events' lists")
+        if kill_expected and not incidents:
+            _fail(f"{label}: spec.kill_worker set but no recovery incident")
+        if scale_expected and not scale_events:
+            _fail(f"{label}: spec.scale_at set but no scale event")
+        for index, incident in enumerate(incidents):
+            entry = f"{label}.incidents[{index}]"
+            if not isinstance(incident, dict):
+                _fail(f"{entry} is not an object")
+            for key in REQUIRED_INCIDENT_KEYS:
+                if key not in incident:
+                    _fail(f"{entry} is missing {key!r}")
+            _check_number(entry, "recovery_pause_seconds", incident["recovery_pause_seconds"])
+            _check_number(entry, "restore_seconds", incident["restore_seconds"])
+            if incident["recovery_pause_seconds"] <= 0:
+                _fail(f"{entry}: recovery pause was not measured (<= 0)")
+        for index, event in enumerate(scale_events):
+            entry = f"{label}.scale_events[{index}]"
+            if not isinstance(event, dict):
+                _fail(f"{entry} is not an object")
+            for key in REQUIRED_SCALE_EVENT_KEYS:
+                if key not in event:
+                    _fail(f"{entry} is missing {key!r}")
+            _check_number(entry, "rebalance_pause_seconds", event["rebalance_pause_seconds"])
+            _check_number(entry, "moved_keys", event["moved_keys"])
+            if event["to_tasks"] != event["from_tasks"] + event["delta"]:
+                _fail(
+                    f"{entry}: to_tasks ({event['to_tasks']}) != from_tasks "
+                    f"({event['from_tasks']}) + delta ({event['delta']})"
+                )
+        checkpoints = resilience.get("checkpoints")
+        if not isinstance(checkpoints, dict):
+            _fail(f"{label} needs a 'checkpoints' object")
+        for key in ("count", "bytes_written", "write_seconds"):
+            if key not in checkpoints:
+                _fail(f"{label}.checkpoints is missing {key!r}")
+            _check_number(f"{label}.checkpoints", key, checkpoints[key])
+        if kill_expected and checkpoints["bytes_written"] <= 0:
+            _fail(
+                f"{label}: spec.kill_worker set but no checkpoint bytes "
+                f"were written"
             )
 
 
@@ -213,6 +306,18 @@ def main(argv) -> int:
         extras.append(
             f"router micro {payload['router_micro']['speedup']:.2f}x"
         )
+    if payload["spec"].get("kill_worker"):
+        incidents = sum(
+            len(report.get("resilience", {}).get("incidents", []))
+            for report in payload["per_strategy"].values()
+        )
+        extras.append(f"kill {payload['spec']['kill_worker']}: {incidents} recovered")
+    if payload["spec"].get("scale_at"):
+        events = sum(
+            len(report.get("resilience", {}).get("scale_events", []))
+            for report in payload["per_strategy"].values()
+        )
+        extras.append(f"scale {payload['spec']['scale_at']}: {events} resized")
     if "sanitizer" in payload:
         checked = sum(payload["sanitizer"]["checks"].values())
         extras.append(f"sanitizer clean ({checked} checks)")

@@ -1,4 +1,4 @@
-"""The repo-specific protocol lint rules (RPL001–RPL005).
+"""The repo-specific protocol lint rules (RPL001–RPL006).
 
 Each rule is a small :class:`ast.NodeVisitor` with an ID and a docstring
 describing the hazard it targets.  The rules are heuristic by design — they
@@ -20,6 +20,10 @@ RPL004  fork-safety — no module-level mutable state or global RNG mutated
 RPL005  subnormal-division family — no ratios over ``average_load`` /
         ``safe_mean`` outputs bypassing ``core/load.py``'s total-based
         guards.
+RPL006  atomic checkpoint writes — no bare ``open(..., "w")`` /
+        ``write_text``/``write_bytes`` on checkpoint/manifest paths outside
+        the ``runtime/resilience/checkpoint.py`` tmp-write + ``os.replace``
+        helpers.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ __all__ = [
     "PauseResumePairingRule",
     "ForkSafetyRule",
     "LoadRatioRule",
+    "AtomicCheckpointWriteRule",
     "Rule",
     "get_rules",
 ]
@@ -693,6 +698,122 @@ class LoadRatioRule(Rule):
         return None
 
 
+class AtomicCheckpointWriteRule(Rule):
+    """RPL006: checkpoint artifacts must be written atomically.
+
+    A checkpoint or manifest file half-written at crash time is worse than
+    no checkpoint at all: recovery would restore torn state.  The only
+    sanctioned write path is :mod:`repro.runtime.resilience.checkpoint`'s
+    ``atomic_write_bytes``/``atomic_write_json`` (tmp file + flush + fsync +
+    ``os.replace``), and that module is exempt — it is where the pattern
+    lives.  Everywhere else the rule flags
+
+    * ``open(path, "w"/"wb"/"a"/...)`` — any writable mode — and
+    * ``path.write_text(...)`` / ``path.write_bytes(...)``
+
+    when the path expression mentions a checkpoint artifact: a receiver or
+    argument whose name, string literal, or f-string fragment contains
+    ``checkpoint``/``ckpt``/``manifest``.  Paths the rule cannot trace pass
+    (heuristic, like the rest of the family).
+    """
+
+    rule_id = "RPL006"
+
+    _WRITE_METHODS = {"write_text", "write_bytes"}
+
+    def __init__(self, module: ModuleContext, project: Project):
+        super().__init__(module, project)
+        self._exempt = module.relpath.endswith("runtime/resilience/checkpoint.py")
+
+    def visit(self, node: ast.AST) -> None:
+        if self._exempt:
+            return
+        super().visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check(node)
+        self.generic_visit(node)
+
+    def _check(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in self._WRITE_METHODS and _mentions_checkpoint(
+                node.func.value
+            ):
+                self.report(
+                    node,
+                    f"bare .{node.func.attr}() on a checkpoint path is torn "
+                    "on crash; use atomic_write_bytes/atomic_write_json "
+                    "(tmp + os.replace) from runtime/resilience/checkpoint",
+                )
+                return
+        if _terminal_name(node.func) != "open" or not node.args:
+            return
+        if not self._writable_mode(node):
+            return
+        path_expr: ast.AST = node.args[0]
+        if isinstance(node.func, ast.Attribute) and _mentions_checkpoint(
+            node.func.value
+        ):
+            # pathlib style: <checkpoint_path>.open("w").
+            path_expr = node.func.value
+        if _mentions_checkpoint(path_expr):
+            self.report(
+                node,
+                "bare open(..., 'w') on a checkpoint path is torn on "
+                "crash; use atomic_write_bytes/atomic_write_json "
+                "(tmp + os.replace) from runtime/resilience/checkpoint",
+            )
+
+    @staticmethod
+    def _writable_mode(node: ast.Call) -> bool:
+        mode: Optional[ast.expr] = None
+        if isinstance(node.func, ast.Attribute):
+            # path.open(mode) — the mode is the first positional argument.
+            if node.args:
+                mode = node.args[0]
+        elif len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+            return False
+        return any(flag in mode.value for flag in "wax+")
+
+
+#: Path-expression fragments that mark a file as a checkpoint artifact.
+_CHECKPOINT_HINTS = ("checkpoint", "ckpt", "manifest")
+
+
+def _mentions_checkpoint(node: ast.AST) -> bool:
+    """True when a path expression names a checkpoint artifact.
+
+    Recurses through calls (``os.path.join(root, "manifest.json")``),
+    f-strings, concatenation, and attribute/name receivers.
+    """
+
+    def _hit(text: str) -> bool:
+        low = text.lower()
+        return any(hint in low for hint in _CHECKPOINT_HINTS)
+
+    name = _terminal_name(node)
+    if name and _hit(name):
+        return True
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, str) and _hit(node.value)
+    if isinstance(node, ast.JoinedStr):
+        return any(_mentions_checkpoint(value) for value in node.values)
+    if isinstance(node, ast.FormattedValue):
+        return _mentions_checkpoint(node.value)
+    if isinstance(node, ast.BinOp):
+        return _mentions_checkpoint(node.left) or _mentions_checkpoint(node.right)
+    if isinstance(node, ast.Call):
+        return any(_mentions_checkpoint(arg) for arg in node.args)
+    if isinstance(node, ast.Attribute):
+        return _mentions_checkpoint(node.value)
+    return False
+
+
 #: Registry, ordered by rule ID.
 ALL_RULES = (
     MessageDisciplineRule,
@@ -700,6 +821,7 @@ ALL_RULES = (
     PauseResumePairingRule,
     ForkSafetyRule,
     LoadRatioRule,
+    AtomicCheckpointWriteRule,
 )
 
 

@@ -131,6 +131,10 @@ class StageSanitizer:
         self._pause_depth = 0
         #: Tuples enqueued onto worker queues (TupleBatch payload sizes).
         self._enqueued = 0
+        #: True while the supervisor replays a retention log: replayed
+        #: batches were already counted when first enqueued, so counting
+        #: them again would break end-of-run conservation.
+        self._replaying = False
 
     def _violate(
         self, check: str, message: str, interval: Optional[int] = None
@@ -173,8 +177,29 @@ class StageSanitizer:
         if type_name == "EndOfStream":
             self._closed_tasks.add(task)
         keys = getattr(message, "keys", None)
-        if type_name == "TupleBatch" and keys is not None:
+        if type_name == "TupleBatch" and keys is not None and not self._replaying:
             self._enqueued += len(keys)
+
+    # -- supervised recovery ---------------------------------------------
+
+    def on_respawn(self, task: int) -> None:
+        """A dead worker was respawned on ``task``'s queue.
+
+        The fresh process rebuilds its watermark from the checkpoint and the
+        replayed markers, so the per-task marker history restarts — replayed
+        ``EndInterval`` markers are monotone among themselves but precede
+        the markers already seen on the old incarnation.
+        """
+        self.report.count_check("recovery")
+        self._last_marker.pop(task, None)
+        self._closed_tasks.discard(task)
+
+    def begin_replay(self) -> None:
+        """Suppress enqueue counting while a retention log replays."""
+        self._replaying = True
+
+    def end_replay(self) -> None:
+        self._replaying = False
 
     # -- coordinator interval close --------------------------------------
 

@@ -280,6 +280,21 @@ class Partitioner(ABC):
         self.num_tasks = int(new_num_tasks)
         self.invalidate_route_cache()
 
+    def scale_in(self, new_num_tasks: int) -> None:
+        """Shrink the downstream operator to ``new_num_tasks`` tasks.
+
+        The mirror of :meth:`scale_out` for elastic scale-in: after the
+        resize every key must route to a task ``< new_num_tasks`` (the
+        drained tasks stop existing), so strategies that learned a routing
+        table additionally re-home the entries pointing at removed tasks.
+        """
+        if new_num_tasks > self.num_tasks:
+            raise ValueError("scale_in cannot grow the operator")
+        if new_num_tasks < 1:
+            raise ValueError("scale_in needs at least one remaining task")
+        self.num_tasks = int(new_num_tasks)
+        self.invalidate_route_cache()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(num_tasks={self.num_tasks})"
 

@@ -60,6 +60,15 @@ class HashPartitioner(Partitioner):
         elif not self.consistent:
             self._hash = UniversalHash(self.num_tasks, seed=self.seed)
 
+    def scale_in(self, new_num_tasks: int) -> None:
+        old = self.num_tasks
+        super().scale_in(new_num_tasks)
+        if self.consistent:
+            for task in range(new_num_tasks, old):
+                self._hash.remove_task(task)
+        else:
+            self._hash = UniversalHash(self.num_tasks, seed=self.seed)
+
     @property
     def hash_function(self):
         """The underlying hash callable (shared with the mixed assignment)."""

@@ -165,3 +165,14 @@ class PartialKeyGrouping(Partitioner):
         self._candidates_cache = {}
         for task in range(self.num_tasks):
             self._loads.setdefault(task, 0.0)
+
+    def scale_in(self, new_num_tasks: int) -> None:
+        super().scale_in(new_num_tasks)
+        self._hash = UniversalHash(self.num_tasks, seed=self.seed)
+        self._candidates_cache = {}
+        self._loads = {
+            task: load
+            for task, load in self._loads.items()
+            if task < new_num_tasks
+        }
+        self.split_counts = {}

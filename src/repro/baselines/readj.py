@@ -100,6 +100,17 @@ class ReadjPartitioner(RebalancingPartitioner):
             new_num_tasks, seed=self.assignment.hash_function.seed
         ).with_table(table)
 
+    def scale_in(self, new_num_tasks: int) -> None:
+        super().scale_in(new_num_tasks)
+        # Entries pointing at removed tasks fall back to the (resized) hash.
+        table = self.assignment.routing_table.copy()
+        for key, task in list(table.items()):
+            if task >= new_num_tasks:
+                table.discard(key)
+        self.assignment = AssignmentFunction.hashed(
+            new_num_tasks, seed=self.assignment.hash_function.seed
+        ).with_table(table)
+
     # -- planning ----------------------------------------------------------------
 
     def plan_rebalance(self, stats: IntervalStats) -> Optional[RebalanceResult]:

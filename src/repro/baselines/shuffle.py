@@ -91,3 +91,11 @@ class ShufflePartitioner(Partitioner):
         super().scale_out(new_num_tasks)
         for task in range(new_num_tasks):
             self._interval_load.setdefault(task, 0.0)
+
+    def scale_in(self, new_num_tasks: int) -> None:
+        super().scale_in(new_num_tasks)
+        self._interval_load = {
+            task: load
+            for task, load in self._interval_load.items()
+            if task < new_num_tasks
+        }

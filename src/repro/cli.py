@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
@@ -290,6 +291,44 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     benchp.add_argument(
+        "--kill-worker",
+        default=None,
+        metavar="STAGE:TASK@INTERVAL",
+        help=(
+            "fault injection: SIGKILL one worker mid-run (e.g. "
+            "revenue-agg:0@3); requires checkpointing, so a run-scoped "
+            "checkpoint dir is created when --checkpoint-dir is not given. "
+            "The REPRO_KILL env var supplies the same spec when the flag "
+            "is absent"
+        ),
+    )
+    benchp.add_argument(
+        "--scale-at",
+        default=None,
+        metavar="INTERVAL:STAGE:±N",
+        help=(
+            "elasticity: grow or shrink one stage's process group at an "
+            "interval boundary via live key migration (e.g. "
+            "--scale-at 2:order-join:+1)"
+        ),
+    )
+    benchp.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "enable periodic per-task KeyedState checkpoints, written "
+            "atomically under DIR (one subdir per strategy run)"
+        ),
+    )
+    benchp.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="checkpoint at every N-th interval boundary (default 1)",
+    )
+    benchp.add_argument(
         "--output",
         default="BENCH_runtime.json",
         help="standalone JSON report path (default ./BENCH_runtime.json)",
@@ -320,7 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lintp = sub.add_parser(
         "lint",
-        help="protocol static checker (rules RPL001-RPL005, repro.analysis)",
+        help="protocol static checker (rules RPL001-RPL006, repro.analysis)",
     )
     lintp.add_argument(
         "paths",
@@ -332,7 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules",
         default=None,
         metavar="IDS",
-        help="comma-separated rule IDs to run (default: all five)",
+        help="comma-separated rule IDs to run (default: all six)",
     )
     lintp.add_argument(
         "--list-rules",
@@ -524,6 +563,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             shed_timeout_seconds=args.shed_timeout,
             sanitize=args.sanitize,
+            kill_worker=args.kill_worker or os.environ.get("REPRO_KILL") or None,
+            scale_at=args.scale_at,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SystemExit(str(exc)) from exc

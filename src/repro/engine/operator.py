@@ -341,6 +341,14 @@ class Task:
         self.metrics.migrations_out += 1
         return self.state.extract(key)
 
+    def snapshot_key(self, key: Key):
+        """Copy the windowed state of ``key`` without giving it up.
+
+        Checkpointing path: unlike :meth:`extract_key` the key stays owned
+        by (and served on) this task, and no migration is counted.
+        """
+        return self.state.snapshot(key)
+
     def install_key(self, key: Key, snapshot) -> None:
         """Receive the windowed state of ``key`` (target side of a move)."""
         self.metrics.migrations_in += 1

@@ -88,6 +88,23 @@ class MixedRoutingPartitioner(RebalancingPartitioner):
         ).with_table(old_assignment.routing_table.copy())
         controller.assignment = new_assignment
 
+    def scale_in(self, new_num_tasks: int) -> None:
+        """Remove task instances; routes to surviving tasks are preserved.
+
+        Explicit routes onto the removed tasks are dropped, so those keys
+        fall back to the resized hash — the runtime migrates their state off
+        the drained workers as part of the same boundary.
+        """
+        super().scale_in(new_num_tasks)
+        controller = self.controller
+        table = controller.assignment.routing_table.copy()
+        for key, task in list(table.items()):
+            if task >= new_num_tasks:
+                table.discard(key)
+        controller.assignment = AssignmentFunction.hashed(
+            new_num_tasks, seed=self.seed
+        ).with_table(table)
+
     # -- convenience -----------------------------------------------------------------
 
     @property

@@ -178,6 +178,23 @@ class KeyedState:
 
     # -- migration ---------------------------------------------------------------------
 
+    def snapshot(self, key: Key) -> KeyStateSnapshot:
+        """Copy the full windowed state of ``key`` without removing it.
+
+        The non-destructive twin of :meth:`extract`, used by checkpointing:
+        the returned snapshot has exactly the shipped-state shape, but the
+        key keeps serving tuples on this task.  Payloads are shared by
+        reference; the caller serialises them before the state mutates again
+        (the worker loop ships the snapshot before touching the next batch).
+        """
+        window = self._per_key.get(key)
+        if window is None:
+            return []
+        return [
+            (interval, payload, size)
+            for interval, (payload, size) in window.items()
+        ]
+
     def extract(self, key: Key) -> KeyStateSnapshot:
         """Remove and return the full windowed state of ``key``.
 

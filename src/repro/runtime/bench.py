@@ -33,6 +33,8 @@ import dataclasses
 import functools
 import json
 import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
@@ -62,6 +64,8 @@ from repro.operators.tpch_q5 import DimensionJoin, q5_revenue_reducer
 from repro.operators.windowed_aggregate import WindowedAggregate
 from repro.operators.wordcount import WordCountOperator
 from repro.runtime.local import LocalRuntime, RuntimeConfig, RuntimeResult
+from repro.runtime.resilience.scaling import parse_scale_spec
+from repro.runtime.resilience.supervisor import parse_kill_spec
 from repro.runtime.topology import (
     StageSpec,
     TopologyResult,
@@ -157,6 +161,22 @@ class RuntimeSpec:
         Run every strategy under the runtime protocol sanitizer
         (:mod:`repro.analysis.sanitizer`); the merged violation report is
         embedded in the bench JSON under ``"sanitizer"``.
+    kill_worker:
+        Fault-injection spec ``STAGE:TASK@INTERVAL`` (topology workloads
+        only): SIGKILL that worker the first time its stage handles the
+        interval.  Requires checkpointing; a run-scoped temporary
+        checkpoint root is created (and removed) when ``checkpoint_dir``
+        is unset.
+    scale_at:
+        Elasticity spec ``INTERVAL:STAGE:±N`` (topology workloads only):
+        grow/shrink the stage's process group at that interval boundary
+        via live key migration.
+    checkpoint_dir:
+        Checkpoint root; enables periodic per-task KeyedState checkpoints
+        and supervised worker recovery.  Each strategy run writes under
+        its own subdirectory so runs never restore each other's state.
+    checkpoint_every:
+        Checkpoint at every N-th interval boundary (default 1).
     """
 
     workload: str = "wordcount"
@@ -174,6 +194,10 @@ class RuntimeSpec:
     offered_rate: Optional[float] = None
     rate_sweep: Optional[Sequence[float]] = None
     sanitize: bool = False
+    kill_worker: Optional[str] = None
+    scale_at: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
 
     def __post_init__(self) -> None:
         if (
@@ -232,6 +256,33 @@ class RuntimeSpec:
                         f"stage parallelism for {stage!r} must be a positive "
                         f"integer, got {count!r}"
                     )
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.kill_worker is not None or self.scale_at is not None:
+            topology = BENCH_TOPOLOGY_WORKLOADS.get(self.workload)
+            if topology is None:
+                raise ValueError(
+                    f"kill_worker / scale_at only apply to topology "
+                    f"workloads, not {self.workload!r}"
+                )
+            # Parse and normalise now so a typo fails before any strategy
+            # runs, and the stored spec round-trips in canonical form.
+            if self.kill_worker is not None:
+                directive = parse_kill_spec(self.kill_worker)
+                if directive.stage not in topology.stages:
+                    raise KeyError(
+                        f"unknown stage {directive.stage!r} in kill spec; "
+                        f"stages: {list(topology.stages)}"
+                    )
+                object.__setattr__(self, "kill_worker", directive.spec())
+            if self.scale_at is not None:
+                directive = parse_scale_spec(self.scale_at)
+                if directive.stage not in topology.stages:
+                    raise KeyError(
+                        f"unknown stage {directive.stage!r} in scale spec; "
+                        f"stages: {list(topology.stages)}"
+                    )
+                object.__setattr__(self, "scale_at", directive.spec())
         self.resolve_scale()  # raises on an unknown preset or override field
         object.__setattr__(
             self,
@@ -256,7 +307,18 @@ class RuntimeSpec:
             calibrate_pacing=self.calibrate_pacing,
             offered_rate=self.offered_rate,
             sanitize=self.sanitize,
+            checkpoint_every=self.checkpoint_every,
         )
+        if self.kill_worker is not None:
+            directive = parse_kill_spec(self.kill_worker)
+            params["kill_worker"] = (
+                directive.stage,
+                directive.task,
+                directive.interval,
+            )
+        if self.scale_at is not None:
+            scale = parse_scale_spec(self.scale_at)
+            params["scale_at"] = (scale.interval, scale.stage, scale.delta)
         params.update(overrides)  # e.g. per-rate configs of a rate sweep
         return RuntimeConfig(**params)
 
@@ -285,6 +347,10 @@ class RuntimeSpec:
             "offered_rate": self.offered_rate,
             "rate_sweep": list(self.rate_sweep) if self.rate_sweep else None,
             "sanitize": self.sanitize,
+            "kill_worker": self.kill_worker,
+            "scale_at": self.scale_at,
+            "checkpoint_dir": self.checkpoint_dir,
+            "checkpoint_every": self.checkpoint_every,
         }
         return json.loads(json.dumps(payload))
 
@@ -314,6 +380,10 @@ class RuntimeSpec:
             offered_rate=payload.get("offered_rate"),
             rate_sweep=payload.get("rate_sweep"),
             sanitize=bool(payload.get("sanitize", False)),
+            kill_worker=payload.get("kill_worker"),
+            scale_at=payload.get("scale_at"),
+            checkpoint_dir=payload.get("checkpoint_dir"),
+            checkpoint_every=int(payload.get("checkpoint_every", 1)),
         )
 
 
@@ -662,6 +732,24 @@ def run_bench(
     scale = spec.resolve_scale()
     topology = BENCH_TOPOLOGY_WORKLOADS.get(spec.workload)
 
+    # Resilience: every strategy run (and every rate of a sweep) checkpoints
+    # under its own subdirectory, so no run can restore a sibling's state.
+    # A kill without an explicit checkpoint root gets a temporary run-scoped
+    # one, removed afterwards — the report carries the measured numbers.
+    checkpoint_root = spec.checkpoint_dir
+    temp_checkpoint_root: Optional[str] = None
+    if checkpoint_root is None and spec.kill_worker is not None:
+        temp_checkpoint_root = tempfile.mkdtemp(prefix="repro-checkpoints-")
+        checkpoint_root = temp_checkpoint_root
+
+    def strategy_config(name: str, tag: str = "", **overrides: Any) -> RuntimeConfig:
+        if checkpoint_root is not None:
+            subdir = f"{name}-{tag}" if tag else name
+            overrides.setdefault(
+                "checkpoint_dir", os.path.join(checkpoint_root, subdir)
+            )
+        return spec.runtime_config(**overrides)
+
     if topology is not None:
         stream = topology.build_stream(scale, spec.seed)
         logic = None
@@ -685,23 +773,28 @@ def run_bench(
 
     started = time.perf_counter()
     outcomes: Dict[str, Any] = {}
-    for name in spec.strategies:
-        if spec.rate_sweep:
-            # Open-loop sweep toward saturation: one run per offered rate on
-            # the same stream — the measured Fig. 13 latency/throughput knee.
-            swept: Dict[float, Any] = {}
-            for rate in spec.rate_sweep:
-                swept[rate] = run_strategy(
-                    name, spec.runtime_config(offered_rate=rate)
-                )
+    try:
+        for name in spec.strategies:
+            if spec.rate_sweep:
+                # Open-loop sweep toward saturation: one run per offered rate
+                # on the same stream — the measured Fig. 13 knee.
+                swept: Dict[float, Any] = {}
+                for rate in spec.rate_sweep:
+                    swept[rate] = run_strategy(
+                        name,
+                        strategy_config(name, f"{rate:g}", offered_rate=rate),
+                    )
+                    if on_result is not None:
+                        on_result(f"{name}@{rate:g}/s", swept[rate])
+                outcomes[name] = swept
+            else:
+                outcome = run_strategy(name, strategy_config(name))
+                outcomes[name] = outcome
                 if on_result is not None:
-                    on_result(f"{name}@{rate:g}/s", swept[rate])
-            outcomes[name] = swept
-        else:
-            outcome = run_strategy(name, spec.runtime_config())
-            outcomes[name] = outcome
-            if on_result is not None:
-                on_result(name, outcome)
+                    on_result(name, outcome)
+    finally:
+        if temp_checkpoint_root is not None:
+            shutil.rmtree(temp_checkpoint_root, ignore_errors=True)
     wall_time = time.perf_counter() - started
 
     result = ExperimentResult(
@@ -732,6 +825,8 @@ def run_bench(
             **(
                 {"rate_sweep": list(spec.rate_sweep)} if spec.rate_sweep else {}
             ),
+            **({"kill_worker": spec.kill_worker} if spec.kill_worker else {}),
+            **({"scale_at": spec.scale_at} if spec.scale_at else {}),
         },
         notes=(
             "measured on live worker processes (bounded queues, paced service); "
@@ -809,7 +904,7 @@ def run_bench(
 
 
 def _stage_report(stage: RuntimeResult) -> Dict[str, Any]:
-    return {
+    report = {
         "summary": stage.summary(),
         "shed_by_task": {
             str(task): shed for task, shed in stage.shed_by_task.items()
@@ -817,6 +912,9 @@ def _stage_report(stage: RuntimeResult) -> Dict[str, Any]:
         "migrations": [report.to_dict() for report in stage.migrations],
         "calibrated_service_time_us": stage.calibrated_service_time_us,
     }
+    if stage.resilience is not None:
+        report["resilience"] = stage.resilience
+    return report
 
 
 def _strategy_report(outcome: Any) -> Dict[str, Any]:
@@ -828,13 +926,16 @@ def _strategy_report(outcome: Any) -> Dict[str, Any]:
             ]
         }
     if isinstance(outcome, TopologyResult):
-        return {
+        report = {
             "summary": outcome.summary(),
             "stages": {
                 name: _stage_report(stage)
                 for name, stage in outcome.stages.items()
             },
         }
+        if outcome.resilience is not None:
+            report["resilience"] = outcome.resilience
+        return report
     return _stage_report(outcome)
 
 

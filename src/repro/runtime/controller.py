@@ -164,6 +164,51 @@ class RuntimeController:
             report, target_of, expected_shipments=len(by_source), started=started
         )
 
+    def execute_moves(
+        self, interval: int, moves: Dict[Key, Tuple[int, int]]
+    ) -> LiveMigrationReport:
+        """Run one *synchronous* hand-off of explicit key moves.
+
+        ``moves`` maps ``key -> (source task, target task)``.  Used by
+        elastic scaling, where the move set comes from diffing the
+        partitioner's placement across a resize rather than from a
+        rebalancing plan; the wire protocol (pause → extract → install →
+        ack → resume) is exactly the live-migration one, but the call blocks
+        until the hand-off completes and the report is **not** counted among
+        the skew-driven :attr:`migrations`.
+        """
+        if self._pending is not None:
+            raise RuntimeError(
+                "cannot execute scale moves with a live migration in flight"
+            )
+        report = LiveMigrationReport(interval=interval)
+        if not moves:
+            return report
+        target_of: Dict[Key, int] = {}
+        by_source: Dict[int, List[Key]] = {}
+        for key, (source, target) in moves.items():
+            target_of[key] = target
+            by_source.setdefault(source, []).append(key)
+        started = time.monotonic()
+        self.router.pause(target_of.keys())
+        for source, keys in sorted(by_source.items()):
+            self.abortable_queues[source].put(ExtractKeys(keys=keys))
+        report.moved_keys = len(target_of)
+        report.source_workers = sorted(by_source)
+        self._pending = _PendingMigration(
+            report, target_of, expected_shipments=len(by_source), started=started
+        )
+        self.finish_pending()
+        return report
+
+    def set_queues(self, worker_queues: Sequence[Any]) -> None:
+        """Point the controller at a resized worker-queue list (elastic scale)."""
+        if self._pending is not None:
+            raise RuntimeError(
+                "cannot replace worker queues with a live migration in flight"
+            )
+        self.abortable_queues = list(worker_queues)
+
     def poll(self) -> None:
         """Advance an in-flight hand-off without blocking (dispatch-loop hook)."""
         self._advance(blocking=False)
@@ -177,11 +222,22 @@ class RuntimeController:
         if pending is None:
             return
         if pending.phase == "ship":
-            if blocking:
+            # Copy-mode (checkpoint) shipments carry non-empty counters and
+            # belong to the supervisor, never to a migration — a stray one
+            # (e.g. duplicated across a mid-checkpoint recovery) must not be
+            # mistaken for a source's hand-off.
+            while len(pending.shipments) < pending.expected_shipments:
                 missing = pending.expected_shipments - len(pending.shipments)
-                pending.shipments.extend(self.mailbox.collect(StateShipment, missing))
-            else:
-                pending.shipments.extend(self.mailbox.drain(StateShipment))
+                arrived = (
+                    self.mailbox.collect(StateShipment, missing)
+                    if blocking
+                    else self.mailbox.drain(StateShipment)
+                )
+                pending.shipments.extend(
+                    shipment for shipment in arrived if not shipment.counters
+                )
+                if not blocking:
+                    break
             if len(pending.shipments) < pending.expected_shipments:
                 return
             self._install(pending)

@@ -29,7 +29,7 @@ Replies carry aggregates, not samples.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Mapping, Tuple
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.engine.state import KeyStateSnapshot
 
@@ -39,6 +39,7 @@ __all__ = [
     "ExtractKeys",
     "InstallState",
     "SetServiceTime",
+    "CrashSelf",
     "EndOfStream",
     "EmittedBatch",
     "UpstreamMark",
@@ -89,16 +90,36 @@ class EndInterval:
 
 @dataclass
 class ExtractKeys:
-    """Hand over the windowed state of ``keys`` (source side of a migration)."""
+    """Hand over the windowed state of ``keys`` (source side of a migration).
 
-    keys: List[Key]
+    The same wire type also drives **checkpointing**: with ``copy=True`` the
+    worker ships a *non-destructive* snapshot (the keys stay owned and keep
+    serving tuples) and includes its lifetime counters in the shipment.
+    ``keys=None`` means "every key with state on this task" and is only
+    meaningful in copy mode.
+    """
+
+    keys: Optional[List[Key]]
+    #: Snapshot instead of extract: ship a copy, keep serving the keys.
+    copy: bool = False
 
 
 @dataclass
 class InstallState:
-    """Install previously extracted snapshots (target side of a migration)."""
+    """Install previously extracted snapshots (target side of a migration).
+
+    With non-empty ``counters`` (a checkpoint restore after supervised
+    recovery) the worker additionally resets its lifetime counters —
+    processed/cost totals, busy seconds, emission sequence and interval
+    watermark — to the checkpointed values, so a replay of the
+    post-checkpoint dispatch log reproduces the dead worker's accounting
+    exactly once.
+    """
 
     entries: List[Tuple[Key, KeyStateSnapshot]]
+    #: Checkpointed lifetime counters (see StateShipment.counters); empty for
+    #: an ordinary migration install.
+    counters: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -111,6 +132,22 @@ class SetServiceTime:
     """
 
     service_time_us: float
+
+
+@dataclass
+class CrashSelf:
+    """Fault injection: die by SIGKILL when this message is dequeued.
+
+    The worker flushes its outbound queue feeders first, then SIGKILLs its
+    own process — no final report, no state hand-off, no Python cleanup.
+    The flush keeps the *shared* egress/report queues' writer locks and
+    capacity slots out of the blast radius (a process SIGKILLed mid-``send``
+    would poison them for every sibling producer forever — a
+    ``multiprocessing.Queue`` artifact; real deployments lose a socket,
+    which dies with its process).  Everything else about the death is a
+    hard crash: in-memory state, accounting and queued inbound messages are
+    gone, and recovery must rebuild them from checkpoint + replay.
+    """
 
 
 @dataclass
@@ -144,6 +181,14 @@ class EmittedBatch:
     origin_at: float
     keys: List[Key]
     values: List[Any]
+    #: Producing worker id and its per-producer emission sequence number.
+    #: Workers stamp every batch with a monotone ``producer_seq`` (restored
+    #: from the checkpoint after a recovery), so the downstream router can
+    #: drop the duplicates a post-crash replay re-emits — and accept the
+    #: re-emissions of batches the dead worker's queue feeder lost.  ``-1``
+    #: (the source process) disables the dedup.
+    producer_id: int = -1
+    producer_seq: int = -1
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -198,11 +243,19 @@ class IntervalReport:
 
 @dataclass
 class StateShipment:
-    """The extracted windowed state snapshots, shipped to the coordinator."""
+    """The extracted windowed state snapshots, shipped to the coordinator.
+
+    A checkpoint shipment (``ExtractKeys(copy=True)``) additionally carries
+    the worker's lifetime ``counters`` — processed/cost totals, busy
+    seconds, emission sequence, interval watermark — which the supervisor
+    persists beside the state and restores on recovery.
+    """
 
     worker_id: int
     entries: List[Tuple[Key, KeyStateSnapshot]]
     state_size: float
+    #: Lifetime counters at snapshot time (copy mode only; else empty).
+    counters: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
+import time
 from typing import Any, Callable, Optional
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "QueueAborted",
     "abortable_get",
     "abortable_put",
+    "drain_queue",
     "parent_process_died",
 ]
 
@@ -76,6 +78,34 @@ def abortable_get(
                 raise QueueAborted(
                     "queue get abandoned: the peer process is gone"
                 ) from None
+
+
+def drain_queue(
+    queue: Any,
+    *,
+    quiet_seconds: float = 0.2,
+    poll_seconds: float = 0.05,
+) -> int:
+    """Discard everything readable from ``queue``; return the drained count.
+
+    Used by supervised recovery to empty a dead worker's inbound queue
+    before the respawned process attaches to it: the discarded backlog is
+    re-created exactly by replaying the supervisor's retention log, so
+    leaving it in place would double-process those batches.  A
+    ``multiprocessing.Queue`` can surface items with a small pipe latency,
+    hence the quiet window: the drain only stops after ``quiet_seconds``
+    without a message.
+    """
+    drained = 0
+    deadline = time.monotonic() + quiet_seconds
+    while time.monotonic() < deadline:
+        try:
+            queue.get(timeout=poll_seconds)
+        except queue_module.Empty:
+            continue
+        drained += 1
+        deadline = time.monotonic() + quiet_seconds
+    return drained
 
 
 def abortable_put(

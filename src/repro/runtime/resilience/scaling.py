@@ -1,0 +1,161 @@
+"""Elastic stage scaling at interval boundaries.
+
+A :class:`ScaleDirective` (``repro bench --scale-at INTERVAL:STAGE:±N``)
+asks one stage to grow or shrink its process group when the named interval
+closes.  :func:`execute_scale` runs entirely inside the coordinator's
+interval-close window — dispatch is quiescent, so the whole resize is one
+synchronous rebalance:
+
+* **scale-out** — spawn the new workers on fresh queues, resize the
+  partitioner (:meth:`~repro.baselines.base.Partitioner.scale_out`
+  preserves learned routing tables), then live-migrate exactly the keys
+  whose assignment changed onto the new tasks;
+* **scale-in** — resize the partitioner first
+  (:meth:`~repro.baselines.base.Partitioner.scale_in`), live-migrate every
+  key off the doomed tasks, then drain those workers with an ordinary
+  end-of-stream hand-shake so their lifetime totals still reach the final
+  accounting.
+
+Either way the state hand-off reuses the existing migration wire protocol
+(pause → extract → install → ack → resume) and the measured pause is
+recorded per event, so the bench report can show the rebalance cost of an
+elastic resize next to the cost of ordinary skew-driven migrations.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["ScaleDirective", "ScaleEvent", "execute_scale", "parse_scale_spec"]
+
+
+@dataclass(frozen=True)
+class ScaleDirective:
+    """``--scale-at INTERVAL:STAGE:±N`` parsed: resize ``stage`` by ``delta``
+    workers when ``interval`` closes."""
+
+    interval: int
+    stage: str
+    delta: int
+
+    def spec(self) -> str:
+        return f"{self.interval}:{self.stage}:{self.delta:+d}"
+
+
+_SCALE_SPEC = re.compile(
+    r"^(?P<interval>\d+):(?P<stage>[^:@]+):(?P<delta>[+-]?\d+)$"
+)
+
+
+def parse_scale_spec(spec: str) -> ScaleDirective:
+    """Parse ``INTERVAL:STAGE:±N`` (e.g. ``2:order-join:+1``)."""
+    match = _SCALE_SPEC.match(spec.strip())
+    if match is None:
+        raise ValueError(
+            f"invalid scale spec {spec!r}: expected INTERVAL:STAGE:±N "
+            f"(e.g. 2:order-join:+1)"
+        )
+    delta = int(match.group("delta"))
+    if delta == 0:
+        raise ValueError(f"invalid scale spec {spec!r}: delta must be non-zero")
+    return ScaleDirective(
+        interval=int(match.group("interval")),
+        stage=match.group("stage"),
+        delta=delta,
+    )
+
+
+@dataclass
+class ScaleEvent:
+    """One executed elastic resize, measured wall-clock."""
+
+    stage: str
+    interval: int
+    delta: int
+    from_tasks: int
+    to_tasks: int
+    moved_keys: int = 0
+    moved_state: float = 0.0
+    #: Pause of the rebalancing key migration alone.
+    rebalance_pause_seconds: float = 0.0
+    released_tuples: int = 0
+    #: Full resize cost including worker spawn/drain.
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "interval": self.interval,
+            "delta": self.delta,
+            "from_tasks": self.from_tasks,
+            "to_tasks": self.to_tasks,
+            "moved_keys": self.moved_keys,
+            "moved_state": self.moved_state,
+            "rebalance_pause_seconds": self.rebalance_pause_seconds,
+            "released_tuples": self.released_tuples,
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def execute_scale(loop: Any, directive: ScaleDirective) -> ScaleEvent:
+    """Resize ``loop``'s stage per ``directive`` at the current boundary.
+
+    ``loop`` is the stage's ``_StageLoop``; the call runs on the stage
+    thread inside ``_close_interval``, after the interval's accounts are
+    settled and with no dispatch in flight.
+    """
+    started = time.monotonic()
+    partitioner = loop.spec.partitioner
+    old = partitioner.num_tasks
+    new = old + directive.delta
+    if new < 1:
+        raise ValueError(
+            f"scale directive {directive.spec()!r} would leave stage "
+            f"{directive.stage!r} with {new} workers"
+        )
+    # Any in-flight skew-driven migration must settle before the resize
+    # reshuffles ownership underneath it.
+    loop.controller.finish_pending()
+    # Placement before the resize, for every key this stage ever routed —
+    # the diff against the post-resize placement is the migration plan.
+    seen = sorted(loop.seen_keys, key=repr)
+    old_assign = partitioner.assign_batch(seen)
+    if directive.delta > 0:
+        for task in range(old, new):
+            loop.attach_worker(task)
+        partitioner.scale_out(new)
+        loop.router.set_queues(loop.guarded_queues)
+        loop.controller.set_queues(loop.guarded_queues)
+    else:
+        partitioner.scale_in(new)
+    new_assign = partitioner.assign_batch(seen)
+    moves: Dict[Any, Tuple[int, int]] = {
+        key: (source, target)
+        for key, source, target in zip(seen, old_assign, new_assign)
+        if source != target
+    }
+    report = loop.controller.execute_moves(loop.current_interval, moves)
+    if directive.delta < 0:
+        loop.detach_workers(new, old)
+        loop.router.set_queues(loop.guarded_queues)
+        loop.controller.set_queues(loop.guarded_queues)
+    if loop.downstream is not None:
+        loop.downstream.set_upstream_producers(
+            loop.current_interval + 1, new, done_delta=max(directive.delta, 0)
+        )
+    event = ScaleEvent(
+        stage=directive.stage,
+        interval=loop.current_interval,
+        delta=directive.delta,
+        from_tasks=old,
+        to_tasks=new,
+        moved_keys=report.moved_keys,
+        moved_state=report.moved_state,
+        rebalance_pause_seconds=report.pause_seconds,
+        released_tuples=report.released_tuples,
+        wall_seconds=time.monotonic() - started,
+    )
+    return event

@@ -86,6 +86,26 @@ class IntervalAccount:
         self.offered_cost_by_task = np.zeros(num_tasks, dtype=np.float64)
         self.shed: Dict[int, float] = {}
 
+    def fit(self, num_tasks: int) -> None:
+        """Grow the dense arrays to cover ``num_tasks`` tasks (elastic scale).
+
+        An account can outlive a resize in either direction: a pipelined
+        upstream may emit next-interval tuples before the boundary at which
+        the stage scales out (the account exists, sized for the old group),
+        and after a scale-in the arrays intentionally keep their old length
+        so the drained tasks' already-charged counts survive into the
+        interval report.  Growing is therefore the only adjustment.
+        """
+        have = len(self.offered_tuples_by_task)
+        if num_tasks > have:
+            pad = np.zeros(num_tasks - have, dtype=np.float64)
+            self.offered_tuples_by_task = np.concatenate(
+                [self.offered_tuples_by_task, pad]
+            )
+            self.offered_cost_by_task = np.concatenate(
+                [self.offered_cost_by_task, pad]
+            )
+
     @property
     def offered_tuples(self) -> Dict[int, float]:
         """Dense ``{task: offered tuple count}`` view (every task present)."""
@@ -233,15 +253,18 @@ class StreamRouter:
         origin = now if origin_at is None else origin_at
         account = self._account(tag)
 
-        # One-pass chunk accounting: no per-tuple dict updates.
+        # One-pass chunk accounting: no per-tuple dict updates.  Sliced adds
+        # because an account's arrays can be larger than the current task
+        # group after an elastic scale-in (``IntervalAccount.fit``).
         account.freqs.update(keys)
+        account.fit(self._num_tasks)
         counts = np.bincount(destinations, minlength=self._num_tasks)
-        account.offered_tuples_by_task += counts
+        account.offered_tuples_by_task[: len(counts)] += counts
         costs = self.logic.batch_cost(keys, values)
         if np.ndim(costs) == 0:
-            account.offered_cost_by_task += counts * float(costs)
+            account.offered_cost_by_task[: len(counts)] += counts * float(costs)
         else:
-            account.offered_cost_by_task += np.bincount(
+            account.offered_cost_by_task[: len(counts)] += np.bincount(
                 destinations,
                 weights=np.asarray(costs, dtype=np.float64),
                 minlength=self._num_tasks,
@@ -348,6 +371,22 @@ class StreamRouter:
             self.shed_ledger.record(task, count)
             shed = self._account(batch.interval).shed
             shed[task] = shed.get(task, 0.0) + count
+
+    # -- elastic scaling ----------------------------------------------------------
+
+    def set_queues(self, worker_queues: Sequence[Any]) -> None:
+        """Point the router at a resized worker-queue list (elastic scaling).
+
+        Called at an interval boundary with dispatch quiescent, after the
+        partitioner was resized — the new list must match its task count.
+        """
+        if len(worker_queues) != self.partitioner.num_tasks:
+            raise ValueError(
+                f"partitioner routes over {self.partitioner.num_tasks} tasks "
+                f"but {len(worker_queues)} worker queues were given"
+            )
+        self.abortable_queues = list(worker_queues)
+        self._num_tasks = len(self.abortable_queues)
 
     # -- pause / resume (live migration support) ----------------------------------
 

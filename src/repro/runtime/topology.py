@@ -66,14 +66,30 @@ from repro.engine.operator import OperatorLogic
 from repro.runtime.controller import LiveMigrationReport, RuntimeController
 from repro.runtime.histogram import LatencyHistogram
 from repro.runtime.messages import (
+    CrashSelf,
     EmittedBatch,
     EndInterval,
     EndOfStream,
+    ExtractKeys,
     FinalReport,
     IntervalReport,
+    StateShipment,
     UpstreamDone,
     UpstreamMark,
     WorkerError,
+)
+from repro.runtime.resilience.checkpoint import CheckpointStore
+from repro.runtime.resilience.scaling import (
+    ScaleDirective,
+    ScaleEvent,
+    execute_scale,
+)
+from repro.runtime.resilience.supervisor import (
+    KillDirective,
+    LoggedQueue,
+    RetentionLog,
+    StageSupervisor,
+    parse_kill_spec,
 )
 from repro.runtime.router import StreamRouter
 from repro.runtime.source import source_main
@@ -146,6 +162,21 @@ class RuntimeConfig:
         platform offers it, else ``spawn``.
     join_timeout_seconds:
         How long to wait for replies/workers before declaring the run wedged.
+    checkpoint_dir:
+        Run-scoped checkpoint root; setting it turns the resilience
+        subsystem on — periodic per-task ``KeyedState`` snapshots at
+        interval boundaries and supervised recovery (respawn + restore +
+        replay) instead of abort when a worker process dies.
+    checkpoint_every:
+        Snapshot cadence in intervals (1 = every boundary).
+    kill_worker:
+        Fault injection: ``(stage, task, interval)`` — the named stage's
+        coordinator SIGKILLs that worker when it first sees traffic of the
+        interval (also via the ``REPRO_KILL=STAGE:TASK@INTERVAL`` env var).
+    scale_at:
+        Elasticity: ``(interval, stage, delta)`` — grow/shrink the stage's
+        process group by ``delta`` workers when the interval closes,
+        live-migrating the keys whose assignment changes.
     """
 
     parallelism: int = 4
@@ -160,6 +191,10 @@ class RuntimeConfig:
     sanitize: bool = False
     start_method: Optional[str] = None
     join_timeout_seconds: float = 120.0
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 1
+    kill_worker: Optional[Tuple[str, int, int]] = None
+    scale_at: Optional[Tuple[int, str, int]] = None
 
     def __post_init__(self) -> None:
         if self.parallelism <= 0:
@@ -176,6 +211,22 @@ class RuntimeConfig:
             raise ValueError("calibration_headroom must be positive")
         if self.join_timeout_seconds <= 0:
             raise ValueError("join_timeout_seconds must be positive")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.kill_worker is not None:
+            stage, task, interval = self.kill_worker
+            if not stage or task < 0 or interval < 0:
+                raise ValueError(
+                    f"kill_worker needs (stage, task >= 0, interval >= 0), "
+                    f"got {self.kill_worker!r}"
+                )
+        if self.scale_at is not None:
+            interval, stage, delta = self.scale_at
+            if not stage or interval < 0 or delta == 0:
+                raise ValueError(
+                    f"scale_at needs (interval >= 0, stage, delta != 0), "
+                    f"got {self.scale_at!r}"
+                )
 
 
 def calibrated_service_time_us(
@@ -277,6 +328,9 @@ class RuntimeResult:
     #: Protocol-sanitizer report of the run (``None`` = sanitizer off); the
     #: report is run-global, so every stage of one topology shares it.
     sanitizer: Optional[Dict[str, Any]] = None
+    #: Resilience accounting of this stage (``None`` = subsystem off):
+    #: ``{"incidents": [...], "scale_events": [...], "checkpoints": {...}}``.
+    resilience: Optional[Dict[str, Any]] = None
 
     @property
     def tuples_per_second(self) -> float:
@@ -353,6 +407,28 @@ class TopologyResult:
         return self.final.tuples_processed
 
     @property
+    def resilience(self) -> Optional[Dict[str, Any]]:
+        """Merged resilience accounting across stages (``None`` = off)."""
+        merged: Dict[str, Any] = {
+            "incidents": [],
+            "scale_events": [],
+            "checkpoints": {"count": 0.0, "bytes_written": 0.0, "write_seconds": 0.0},
+        }
+        enabled = False
+        for stage in self.stages.values():
+            data = stage.resilience
+            if data is None:
+                continue
+            enabled = True
+            merged["incidents"].extend(data.get("incidents", []))
+            merged["scale_events"].extend(data.get("scale_events", []))
+            for key, value in data.get("checkpoints", {}).items():
+                merged["checkpoints"][key] = (
+                    merged["checkpoints"].get(key, 0.0) + value
+                )
+        return merged if enabled else None
+
+    @property
     def tuples_shed(self) -> float:
         return sum(stage.tuples_shed for stage in self.stages.values())
 
@@ -423,6 +499,15 @@ class _AbortableQueue:
     def __init__(self, queue: Any, checker: Callable[[], None]) -> None:
         self._queue = queue
         self._checker = checker
+
+    def replace(self, queue: Any) -> None:
+        """Swap the inner queue in place (worker respawned on a fresh one).
+
+        A put blocked on the dead worker's full queue re-reads ``_queue``
+        every retry, so the swap redirects it mid-wait — the wrapping
+        logged/sanitized chain and every list holding this proxy stay valid.
+        """
+        self._queue = queue
 
     def put(self, item: Any, timeout: Optional[float] = None) -> None:
         if timeout is not None:
@@ -555,6 +640,12 @@ class _StageLoop(threading.Thread):
         abort: _AbortFlag,
         source_process: Optional[Any] = None,
         sanitizer: Optional[StageSanitizer] = None,
+        supervisor: Optional[StageSupervisor] = None,
+        worker_factory: Optional[Callable[[int, Any, float], Any]] = None,
+        queue_factory: Optional[Callable[[], Any]] = None,
+        initial_service_us: float = 0.0,
+        kill: Optional[KillDirective] = None,
+        scale: Optional[ScaleDirective] = None,
     ) -> None:
         super().__init__(name=f"repro-stage-{spec.name}", daemon=True)
         self.spec = spec
@@ -574,9 +665,20 @@ class _StageLoop(threading.Thread):
         self.mailbox = _Mailbox(
             out_queue, config.join_timeout_seconds, checker=self._checkpoint
         )
-        guarded: List[Any] = [
+        #: The innermost abort-aware proxies, by task — recovery swaps a
+        #: fresh queue into the dead worker's slot through these.
+        self._abortable_queues: List[_AbortableQueue] = [
             _AbortableQueue(queue, self._checkpoint) for queue in worker_queues
         ]
+        guarded: List[Any] = list(self._abortable_queues)
+        self.supervisor = supervisor
+        if supervisor is not None:
+            # Record every successful coordinator→worker put; the retention
+            # log is what recovery replays after a checkpoint restore.
+            guarded = [
+                LoggedQueue(queue, supervisor.log, task)
+                for task, queue in enumerate(guarded)
+            ]
         self.sanitizer = sanitizer
         if sanitizer is not None:
             # Every coordinator→worker send funnels through the monitor.
@@ -594,9 +696,45 @@ class _StageLoop(threading.Thread):
         self.controller = RuntimeController(
             spec.partitioner, self.router, guarded, self.mailbox
         )
-        self._guarded_queues = guarded
+        self.guarded_queues = guarded
         if sanitizer is not None:
             sanitizer.wrap_router(self.router)
+
+        # -- resilience / elasticity state ---------------------------------
+        self.worker_factory = worker_factory
+        self.queue_factory = queue_factory
+        self._service_us = initial_service_us
+        #: The next stage's loop (set by TopologyRuntime); an elastic resize
+        #: of this stage updates the downstream producer accounting.
+        self.downstream: Optional["_StageLoop"] = None
+        #: Every process this stage ever started (respawns and scale-outs
+        #: included) — the shutdown join set.
+        self.spawned_processes: List[Any] = list(workers)
+        self._kill = kill
+        self._killed = False
+        self._scale = scale
+        self._scale_done = False
+        self.scale_events: List[ScaleEvent] = []
+        #: Keys this stage ever routed (maintained only when a scale
+        #: directive is armed): the placement diff of a resize needs them.
+        self.seen_keys: set = set()
+        self._recovering = False
+        #: Tasks currently draining through an elastic scale-in (their
+        #: process exit is expected, not a crash).
+        self._detaching: set = set()
+        self._drained_finals: List[FinalReport] = []
+        #: Tasks whose snapshot of an in-progress checkpoint round has not
+        #: arrived yet (None = no round in progress).
+        self._ckpt_awaiting: Optional[set] = None
+        #: Dedup floors for post-recovery replay: last producer_seq accepted
+        #: per upstream producer, last UpstreamMark interval per producer.
+        self._last_seq: Dict[int, int] = {}
+        self._mark_floor: Dict[int, int] = {}
+        #: Upstream producer-count timeline: ``(from_interval, count)``
+        #: entries, appended by an *upstream* stage's elastic resize.
+        self._producer_lock = threading.Lock()
+        self._producer_counts: List[Tuple[int, int]] = [(0, upstream_producers)]
+        self._expected_done = upstream_producers
 
         # Filled by the loop, read by the coordinator after join().
         self.interval_rows: List[Dict[str, Any]] = []
@@ -604,6 +742,7 @@ class _StageLoop(threading.Thread):
         self.interval_reports: List[IntervalReport] = []
         self.calibrated_us: Optional[float] = None
         self.error: Optional[BaseException] = None
+        self.current_interval = 0
 
     # -- watchdog ------------------------------------------------------------------
 
@@ -620,13 +759,30 @@ class _StageLoop(threading.Thread):
             raise RuntimeError(
                 f"source process died unexpectedly (exit code {source.exitcode})"
             )
-        if not self._draining:
-            for process in self.workers:
-                if not process.is_alive():
+        if not self._draining and not self._recovering:
+            for task, process in enumerate(self.workers):
+                if process.is_alive() or task in self._detaching:
+                    continue
+                if self.supervisor is None:
                     raise RuntimeError(
                         f"worker process {process.name} died unexpectedly "
                         f"(exit code {process.exitcode})"
                     )
+                self._recover_worker(task, process)
+
+    def _recover_worker(self, task: int, process: Any) -> None:
+        """Heal a dead worker through the supervisor (respawn/restore/replay).
+
+        ``_recovering`` suppresses the dead-worker scan while the recovery
+        itself blocks on queues (its collects re-enter :meth:`_checkpoint`),
+        and the supervisor's failure modes (e.g. death during a live
+        migration) propagate as ordinary stage errors.
+        """
+        self._recovering = True
+        try:
+            self.supervisor.recover(self, task, process)
+        finally:
+            self._recovering = False
 
     def _pump(self) -> None:
         """Between micro-batches: advance a migration hand-off, spot crashes."""
@@ -674,9 +830,25 @@ class _StageLoop(threading.Thread):
         self.router.begin_interval(0)
         self._interval_started = time.monotonic()
 
-        while producers_done < self.upstream_producers:
+        while producers_done < self._expected_done:
             message = self._next_ingress()
             if isinstance(message, EmittedBatch):
+                if (
+                    self._kill is not None
+                    and not self._killed
+                    and message.interval >= self._kill.interval
+                ):
+                    self._fire_kill()
+                producer = message.producer_id
+                if producer >= 0 and message.producer_seq >= 0:
+                    # Post-recovery replay dedup: a replayed batch carries
+                    # the same (producer, seq) as the original, so anything
+                    # at or below the accepted floor was already dispatched;
+                    # re-emissions of batches the dead process's queue
+                    # feeder lost arrive *above* the floor and pass.
+                    if message.producer_seq <= self._last_seq.get(producer, -1):
+                        continue
+                    self._last_seq[producer] = message.producer_seq
                 self.router.dispatch(
                     message.keys,
                     message.values,
@@ -685,8 +857,15 @@ class _StageLoop(threading.Thread):
                     origin_at=message.origin_at,
                 )
             elif isinstance(message, UpstreamMark):
+                producer = message.producer_id
+                floor = self._mark_floor.get(producer)
+                if floor is not None and message.interval <= floor:
+                    # Replayed interval markers re-emit marks the downstream
+                    # already counted; a non-advancing mark is a duplicate.
+                    continue
+                self._mark_floor[producer] = message.interval
                 arrived = marks.pop(message.interval, 0) + 1
-                if arrived < self.upstream_producers:
+                if arrived < self._expected_marks(message.interval):
                     marks[message.interval] = arrived
                 else:
                     self._close_interval(message.interval)
@@ -701,9 +880,11 @@ class _StageLoop(threading.Thread):
         # shipped state, release the buffered tuples) before EOS.
         self.controller.finish_pending()
         self._draining = True
-        for guarded_queue in self._guarded_queues:
+        for guarded_queue in self.guarded_queues:
             guarded_queue.put(EndOfStream(collect_state=config.collect_final_state))
-        self.finals = self.mailbox.collect(FinalReport, self.spec.parallelism)
+        self.finals = self._drained_finals + self.mailbox.collect(
+            FinalReport, self.spec.parallelism
+        )
         self.interval_reports.extend(self.mailbox.drain(IntervalReport))
 
     def _close_interval(self, interval: int) -> None:
@@ -713,17 +894,30 @@ class _StageLoop(threading.Thread):
         # belong to this interval and must precede its EndInterval in the
         # FIFO queues to be counted in it.
         self.controller.finish_pending()
-        for guarded_queue in self._guarded_queues:
+        for guarded_queue in self.guarded_queues:
             guarded_queue.put(EndInterval(interval=interval))
         if self.config.calibrate_pacing and interval == 0:
             self._calibrate()
+        if self.supervisor is not None and self.supervisor.checkpoint_due(interval):
+            self._take_checkpoint(interval)
         # The closing interval's own accounting bucket: early batches of the
         # next interval (fast upstream producers) are already parked in
         # their own bucket and do not pollute this one.
         account = self.router.pop_interval(interval)
+        if self._scale is not None:
+            # The placement diff of a pending resize needs every key this
+            # stage ever routed.
+            self.seen_keys.update(account.freqs.keys())
         migration = self.controller.end_interval(
             self._interval_stats(interval, account.freqs)
         )
+        if (
+            self._scale is not None
+            and not self._scale_done
+            and interval == self._scale.interval
+        ):
+            self._scale_done = True
+            self.scale_events.append(execute_scale(self, self._scale))
         now = time.monotonic()
         # The account's dense per-task arrays convert to the report's
         # ``{task: value}`` dict shape only here, at interval close.
@@ -738,7 +932,151 @@ class _StageLoop(threading.Thread):
             }
         )
         self._interval_started = now
+        self.current_interval = interval + 1
         self.router.begin_interval(interval + 1)
+
+    # -- resilience / elasticity ---------------------------------------------------
+
+    def _fire_kill(self) -> None:
+        """Inject the configured fault: SIGKILL the directive's worker.
+
+        Delivered as a :class:`CrashSelf` command through the victim's FIFO
+        inbound queue — behind the batches already dispatched to it — sent
+        through the bare abort-aware proxy so it is neither retained for
+        replay nor counted by the sanitizer.
+        """
+        self._killed = True
+        task = self._kill.task
+        if task >= len(self.workers):
+            raise ValueError(
+                f"kill directive {self._kill.spec()!r} names task {task} but "
+                f"stage {self.spec.name!r} has {len(self.workers)} workers"
+            )
+        self._abortable_queues[task].put(CrashSelf())
+
+    def _take_checkpoint(self, interval: int) -> None:
+        """Snapshot every task's ``KeyedState`` at this interval boundary.
+
+        The snapshot command rides the FIFO queues right behind the
+        interval's ``EndInterval`` marker, so each shipped state covers
+        exactly the tuples up to the boundary (watermark = ``interval``).
+        The log cut is taken *before* the command is sent: everything the
+        checkpoint covers — and nothing it does not — is truncated once the
+        task's snapshot is durable.
+        """
+        supervisor = self.supervisor
+        tasks = range(len(self.workers))
+        cuts = {task: supervisor.log.cut(task) for task in tasks}
+        self._ckpt_awaiting = set(tasks)
+        with supervisor.log.suspended():
+            for guarded_queue in self.guarded_queues:
+                guarded_queue.put(ExtractKeys(keys=None, copy=True))
+            while self._ckpt_awaiting:
+                shipment = self.mailbox.collect(StateShipment, 1)[0]
+                task = shipment.worker_id
+                if task not in self._ckpt_awaiting:
+                    # Duplicate from a mid-checkpoint recovery (the original
+                    # arrived before the re-issued command's copy).
+                    continue
+                supervisor.store.save(
+                    task, interval, shipment.entries, shipment.counters
+                )
+                supervisor.log.truncate(task, cuts[task])
+                self._ckpt_awaiting.discard(task)
+        self._ckpt_awaiting = None
+
+    def checkpoint_pending(self, task: int) -> bool:
+        """True when a checkpoint round still awaits ``task``'s snapshot."""
+        return self._ckpt_awaiting is not None and task in self._ckpt_awaiting
+
+    def spawn_worker(self, task: int) -> Any:
+        """Start a replacement process for ``task`` on a *fresh* queue.
+
+        The dead worker's inbound queue cannot be reused: a process parked
+        in ``Queue.get`` holds the queue's reader lock, and a SIGKILL never
+        releases it — a replacement reading the same queue would deadlock.
+        Anything buffered in the abandoned queue is superseded by the
+        retention-log replay, so the swap loses nothing; the fresh queue is
+        swapped *into* the existing guarded chain, so a dispatch currently
+        blocked on the dead worker's full queue is redirected mid-wait.
+        """
+        queue = self.queue_factory()
+        self.raw_worker_queues[task] = queue
+        self._abortable_queues[task].replace(queue)
+        process = self.worker_factory(task, queue, self._service_us)
+        process.start()
+        self.workers[task] = process
+        self.spawned_processes.append(process)
+        return process
+
+    def attach_worker(self, task: int) -> None:
+        """Add a brand-new worker (elastic scale-out): queue, process, wraps."""
+        queue = self.queue_factory()
+        process = self.worker_factory(task, queue, self._service_us)
+        process.start()
+        self.raw_worker_queues.append(queue)
+        self.workers.append(process)
+        self.spawned_processes.append(process)
+        guarded: Any = _AbortableQueue(queue, self._checkpoint)
+        self._abortable_queues.append(guarded)
+        if self.supervisor is not None:
+            self.supervisor.log.ensure_task(task)
+            guarded = LoggedQueue(guarded, self.supervisor.log, task)
+        if self.sanitizer is not None:
+            guarded = SanitizedQueue(guarded, task, self.sanitizer)
+        self.guarded_queues.append(guarded)
+
+    def detach_workers(self, new: int, old: int) -> None:
+        """Drain tasks ``new..old-1`` (elastic scale-in) with a normal EOS.
+
+        The drained workers' lifetime totals still reach the final
+        accounting through their stashed ``FinalReport`` s; their expected
+        exits are excluded from the dead-worker scan while in flight.
+        """
+        doomed = list(range(new, old))
+        self._detaching = set(doomed)
+        try:
+            for task in doomed:
+                self.guarded_queues[task].put(
+                    EndOfStream(collect_state=self.config.collect_final_state)
+                )
+            self._drained_finals.extend(
+                self.mailbox.collect(FinalReport, len(doomed))
+            )
+            if self.supervisor is not None:
+                for task in doomed:
+                    self.supervisor.log.drop_task(task)
+            del self.workers[new:old]
+            del self.raw_worker_queues[new:old]
+            del self.guarded_queues[new:old]
+            del self._abortable_queues[new:old]
+        finally:
+            self._detaching = set()
+
+    def _expected_marks(self, interval: int) -> int:
+        """Upstream producer count in effect for ``interval``'s marks."""
+        with self._producer_lock:
+            expected = self._producer_counts[0][1]
+            for start, count in self._producer_counts:
+                if interval >= start:
+                    expected = count
+            return expected
+
+    def set_upstream_producers(
+        self, from_interval: int, count: int, done_delta: int
+    ) -> None:
+        """An upstream resize changed this stage's producer accounting.
+
+        Called from the *upstream* stage's thread at its interval boundary —
+        strictly before the resized group emits any mark for
+        ``from_interval``, so the timeline append cannot race a close that
+        depends on it.  ``done_delta`` adjusts the expected end-of-stream
+        count (scale-out adds producers; scale-in's drained workers still
+        send their own ``UpstreamDone``, so shrink passes zero).
+        """
+        with self._producer_lock:
+            self._producer_counts.append((int(from_interval), int(count)))
+            self._expected_done += int(done_delta)
 
     def _calibrate(self) -> None:
         """Measure interval 0's unpaced processing and install the pacing.
@@ -766,9 +1104,10 @@ class _StageLoop(threading.Thread):
             self.config.calibration_headroom,
         )
         if service_us > 0:
-            for guarded_queue in self._guarded_queues:
+            for guarded_queue in self.guarded_queues:
                 guarded_queue.put(SetServiceTime(service_time_us=service_us))
             self.calibrated_us = service_us
+            self._service_us = service_us
 
     def _interval_stats(
         self, interval: int, freqs: Mapping[Key, float]
@@ -787,8 +1126,14 @@ class _StageLoop(threading.Thread):
 
     def aggregate(self, wall_seconds: float) -> RuntimeResult:
         """Fold the loop's rows and the workers' reports into a RuntimeResult."""
-        per_interval: Dict[int, List[IntervalReport]] = {}
+        # Keep-last per (interval, worker): a recovery replays EndInterval
+        # markers, so a respawned worker re-sends interval reports the dead
+        # one already delivered — the re-send carries the healed accounting.
+        deduped: Dict[Tuple[int, int], IntervalReport] = {}
         for report in self.interval_reports + self.mailbox.drain(IntervalReport):
+            deduped[(report.interval, report.worker_id)] = report
+        per_interval: Dict[int, List[IntervalReport]] = {}
+        for report in deduped.values():
             per_interval.setdefault(report.interval, []).append(report)
 
         latency = LatencyHistogram()
@@ -873,6 +1218,21 @@ class _StageLoop(threading.Thread):
                 processed=float(processed_total),
                 shed=self.router.shed_ledger.total,
             )
+        resilience: Optional[Dict[str, Any]] = None
+        if self.supervisor is not None or self.scale_events:
+            resilience = {
+                "incidents": (
+                    [incident.to_dict() for incident in self.supervisor.incidents]
+                    if self.supervisor is not None
+                    else []
+                ),
+                "scale_events": [event.to_dict() for event in self.scale_events],
+                "checkpoints": (
+                    self.supervisor.store.stats()
+                    if self.supervisor is not None
+                    else {"count": 0.0, "bytes_written": 0.0, "write_seconds": 0.0}
+                ),
+            }
         return RuntimeResult(
             label=self.spec.name,
             metrics=metrics,
@@ -888,6 +1248,7 @@ class _StageLoop(threading.Thread):
             interval_latency=interval_latency,
             e2e_latency=e2e,
             calibrated_service_time_us=self.calibrated_us,
+            resilience=resilience,
         )
 
 
@@ -904,6 +1265,43 @@ class TopologyRuntime:
         self.spec = spec
         self.config = config if config is not None else RuntimeConfig()
         self.label = label or spec.name
+
+    def _directives(
+        self,
+    ) -> Tuple[Optional[KillDirective], Optional[ScaleDirective]]:
+        """Resolve the run's fault-injection and elasticity directives.
+
+        ``config.kill_worker`` wins over the ``REPRO_KILL`` environment
+        variable; both kinds are validated against the topology's stage
+        names before any process is spawned.
+        """
+        config = self.config
+        kill: Optional[KillDirective] = None
+        if config.kill_worker is not None:
+            stage, task, interval = config.kill_worker
+            kill = KillDirective(stage=stage, task=int(task), interval=int(interval))
+        else:
+            env_spec = os.environ.get("REPRO_KILL", "").strip()
+            if env_spec:
+                kill = parse_kill_spec(env_spec)
+        scale: Optional[ScaleDirective] = None
+        if config.scale_at is not None:
+            interval, stage, delta = config.scale_at
+            scale = ScaleDirective(
+                interval=int(interval), stage=stage, delta=int(delta)
+            )
+        names = set(self.spec.stage_names())
+        if kill is not None and kill.stage not in names:
+            raise ValueError(
+                f"kill directive {kill.spec()!r} names unknown stage "
+                f"{kill.stage!r} (topology has {sorted(names)})"
+            )
+        if scale is not None and scale.stage not in names:
+            raise ValueError(
+                f"scale directive {scale.spec()!r} names unknown stage "
+                f"{scale.stage!r} (topology has {sorted(names)})"
+            )
+        return kill, scale
 
     def run(self, stream: TupleStream) -> TopologyResult:
         """Execute the stream through the chain; blocks until fully drained.
@@ -930,6 +1328,7 @@ class TopologyRuntime:
         sanitizer_report = SanitizerReport() if sanitize else None
 
         stages = self.spec.stages
+        kill, scale = self._directives()
         source_queue = context.Queue(maxsize=max(2, config.queue_capacity))
         ingresses = [source_queue]
         # Bounded inter-stage egress queues: sized by the downstream
@@ -951,33 +1350,55 @@ class TopologyRuntime:
         )
 
         initial_service_us = 0.0 if config.calibrate_pacing else config.service_time_us
+
+        def queue_factory() -> Any:
+            return context.Queue(maxsize=config.queue_capacity)
+
         all_workers: List[Any] = []
         loops: List[_StageLoop] = []
         for index, stage in enumerate(stages):
-            worker_queues = [
-                context.Queue(maxsize=config.queue_capacity)
-                for _ in range(stage.parallelism)
-            ]
+            worker_queues = [queue_factory() for _ in range(stage.parallelism)]
             out_queue = context.Queue()
             egress = ingresses[index + 1] if index + 1 < len(ingresses) else None
-            workers = [
-                context.Process(
+
+            def worker_factory(
+                worker_id: int,
+                queue: Any,
+                service_us: float,
+                # Bind this iteration's stage wiring (the factory outlives
+                # the loop: respawns and scale-outs call it later).
+                _stage: StageSpec = stage,
+                _out_queue: Any = out_queue,
+                _egress: Any = egress,
+            ) -> Any:
+                return context.Process(
                     target=worker_main,
                     args=(
                         worker_id,
-                        stage.logic,
-                        worker_queues[worker_id],
-                        out_queue,
-                        initial_service_us,
-                        egress,
-                        stage.key_mapper,
+                        _stage.logic,
+                        queue,
+                        _out_queue,
+                        service_us,
+                        _egress,
+                        _stage.key_mapper,
                     ),
                     daemon=True,
-                    name=f"repro-{stage.name}-{worker_id}",
+                    name=f"repro-{_stage.name}-{worker_id}",
                 )
+
+            workers = [
+                worker_factory(worker_id, worker_queues[worker_id], initial_service_us)
                 for worker_id in range(stage.parallelism)
             ]
             all_workers.extend(workers)
+            supervisor = None
+            if config.checkpoint_dir is not None:
+                supervisor = StageSupervisor(
+                    stage.name,
+                    CheckpointStore(config.checkpoint_dir, stage.name),
+                    RetentionLog(stage.parallelism),
+                    checkpoint_every=config.checkpoint_every,
+                )
             loops.append(
                 _StageLoop(
                     stage,
@@ -996,8 +1417,22 @@ class TopologyRuntime:
                         if sanitizer_report is not None
                         else None
                     ),
+                    supervisor=supervisor,
+                    worker_factory=worker_factory,
+                    queue_factory=queue_factory,
+                    initial_service_us=initial_service_us,
+                    kill=kill if kill is not None and kill.stage == stage.name else None,
+                    scale=(
+                        scale
+                        if scale is not None and scale.stage == stage.name
+                        else None
+                    ),
                 )
             )
+        # An elastic resize must update the *downstream* stage's producer
+        # accounting (mark barriers, end-of-stream counting).
+        for index, loop in enumerate(loops[:-1]):
+            loop.downstream = loops[index + 1]
 
         wall_seconds = 0.0
         try:
@@ -1014,7 +1449,16 @@ class TopologyRuntime:
             wall_seconds = time.monotonic() - wall_start
         finally:
             self._shutdown([source], force=abort.tripped)
-            self._shutdown(all_workers, force=abort.tripped)
+            # Respawned and scaled-out workers included, not just the
+            # initial groups.
+            self._shutdown(
+                [
+                    process
+                    for loop in loops
+                    for process in loop.spawned_processes
+                ],
+                force=abort.tripped,
+            )
 
         if abort.tripped:
             raise RuntimeError(

@@ -39,6 +39,8 @@ the pacing mid-run (adaptive calibration).
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 import traceback
 from typing import Any, Callable, Hashable, Optional
@@ -47,6 +49,7 @@ from repro.engine.operator import OperatorLogic, Task
 from repro.runtime.histogram import LatencyHistogram
 from repro.runtime.queues import QueueAborted, abortable_get, abortable_put
 from repro.runtime.messages import (
+    CrashSelf,
     EmittedBatch,
     EndInterval,
     EndOfStream,
@@ -129,6 +132,11 @@ def _worker_loop(
     final_stage = egress is None
 
     busy_seconds = 0.0
+    # Monotone per-producer emission sequence, stamped onto every egress
+    # batch.  Restored from the checkpoint after a supervised recovery, so a
+    # replayed batch carries the *same* sequence number as the original and
+    # the downstream router can deduplicate (see EmittedBatch.producer_seq).
+    emit_seq = 0
     # Interval watermark: in a pipelined topology, upstream workers progress
     # through intervals at different speeds, so a batch tagged with an older
     # interval can arrive after a newer one (or after the older interval's
@@ -198,9 +206,12 @@ def _worker_loop(
                         origin_at=message.origin_at or message.sent_at,
                         keys=out_keys,
                         values=out_values,
+                        producer_id=worker_id,
+                        producer_seq=emit_seq,
                     ),
                     should_abort,
                 )
+                emit_seq += 1
 
         elif isinstance(message, EndInterval):
             # State up to this interval is expired; later stragglers process
@@ -245,26 +256,74 @@ def _worker_loop(
                 )
 
         elif isinstance(message, ExtractKeys):
-            entries = [(key, task.extract_key(key)) for key in message.keys]
+            if message.copy:
+                # Checkpoint snapshot: ship a copy of every requested key
+                # (``None`` = all keys with state) plus the lifetime
+                # counters; the keys keep serving on this task.
+                keys = (
+                    list(task.state.keys())
+                    if message.keys is None
+                    else list(message.keys)
+                )
+                entries = [(key, task.snapshot_key(key)) for key in keys]
+                counters = {
+                    "processed": float(task.metrics.tuples_processed),
+                    "cost": float(task.metrics.cost_processed),
+                    "busy_seconds": busy_seconds,
+                    "emit_seq": float(emit_seq),
+                    "watermark": float(floor_interval),
+                    "migrations_in": float(task.metrics.migrations_in),
+                    "migrations_out": float(task.metrics.migrations_out),
+                }
+            else:
+                entries = [(key, task.extract_key(key)) for key in message.keys]
+                counters = {}
             shipped = sum(
                 size for _, snapshot in entries for _, _, size in snapshot
             )
             abortable_put(
                 out_queue,
                 StateShipment(
-                    worker_id=worker_id, entries=entries, state_size=shipped
+                    worker_id=worker_id,
+                    entries=entries,
+                    state_size=shipped,
+                    counters=counters,
                 ),
                 should_abort,
             )
 
         elif isinstance(message, InstallState):
-            for key, snapshot in message.entries:
-                task.install_key(key, snapshot)
-                # The source worker's watermark may be ahead of ours; keep
-                # the installed keys' interval tags monotone here too.
-                for bucket_interval, _payload, _size in snapshot:
-                    if bucket_interval > floor_interval:
-                        floor_interval = bucket_interval
+            if message.counters:
+                # Checkpoint restore after a supervised recovery: install
+                # the state *directly* (bypassing the migration counters)
+                # and reset the lifetime counters to the snapshot's values,
+                # so the retention-log replay that follows reproduces the
+                # dead worker's accounting exactly once.
+                for key, snapshot in message.entries:
+                    task.state.install(key, snapshot)
+                counters = message.counters
+                task.metrics.tuples_processed = int(counters.get("processed", 0))
+                task.metrics.cost_processed = counters.get("cost", 0.0)
+                task.metrics.migrations_in = int(
+                    counters.get("migrations_in", 0)
+                )
+                task.metrics.migrations_out = int(
+                    counters.get("migrations_out", 0)
+                )
+                busy_seconds = counters.get("busy_seconds", 0.0)
+                emit_seq = int(counters.get("emit_seq", 0))
+                floor_interval = max(
+                    floor_interval, int(counters.get("watermark", 0))
+                )
+            else:
+                for key, snapshot in message.entries:
+                    task.install_key(key, snapshot)
+                    # The source worker's watermark may be ahead of ours;
+                    # keep the installed keys' interval tags monotone here
+                    # too.
+                    for bucket_interval, _payload, _size in snapshot:
+                        if bucket_interval > floor_interval:
+                            floor_interval = bucket_interval
             abortable_put(
                 out_queue,
                 InstallAck(worker_id=worker_id, installed_keys=len(message.entries)),
@@ -273,6 +332,18 @@ def _worker_loop(
 
         elif isinstance(message, SetServiceTime):
             service_time_s = max(message.service_time_us, 0.0) / 1e6
+
+        elif isinstance(message, CrashSelf):
+            # Hard crash on command (fault injection).  Flush the shared
+            # outbound queues' feeder threads so the SIGKILL cannot strand
+            # their writer locks for the sibling producers, then die with no
+            # cleanup: state, accounting and the rest of the inbound queue
+            # are simply gone.
+            for shared in (egress, out_queue):
+                if shared is not None:
+                    shared.close()
+                    shared.join_thread()
+            os.kill(os.getpid(), signal.SIGKILL)
 
         elif isinstance(message, EndOfStream):
             final_state = {}

@@ -1,4 +1,4 @@
-"""The five protocol lint rules: one positive and one negative per hazard."""
+"""The six protocol lint rules: one positive and one negative per hazard."""
 
 import ast
 from pathlib import Path
@@ -6,6 +6,7 @@ from pathlib import Path
 from repro.analysis.engine import ModuleContext, Project
 from repro.analysis.findings import parse_suppressions
 from repro.analysis.rules import (
+    AtomicCheckpointWriteRule,
     BlockingCallRule,
     ForkSafetyRule,
     LoadRatioRule,
@@ -394,5 +395,88 @@ def max_skewness(loads):
         return 0.0
     return max(loads.values()) / total * len(loads)
 """,
+        )
+        assert findings == []
+
+
+class TestRPL006AtomicCheckpointWrite:
+    def test_flags_bare_open_write_on_checkpoint_path(self):
+        findings = run_rule(
+            AtomicCheckpointWriteRule,
+            """
+def save(checkpoint_path, blob):
+    with open(checkpoint_path, "wb") as handle:
+        handle.write(blob)
+""",
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "RPL006"
+        assert "atomic_write" in findings[0].message
+
+    def test_flags_manifest_join_and_fstring_paths(self):
+        findings = run_rule(
+            AtomicCheckpointWriteRule,
+            """
+import json
+import os
+
+def save(root, task, payload):
+    with open(os.path.join(root, "manifest.json"), "w") as handle:
+        json.dump(payload, handle)
+    with open(f"{root}/ckpt-{task}.bin", "wb") as handle:
+        handle.write(b"x")
+""",
+        )
+        assert len(findings) == 2
+
+    def test_flags_pathlib_write_methods(self):
+        findings = run_rule(
+            AtomicCheckpointWriteRule,
+            """
+def save(ckpt_path, manifest_path):
+    ckpt_path.write_bytes(b"x")
+    manifest_path.write_text("{}")
+""",
+        )
+        assert len(findings) == 2
+
+    def test_flags_pathlib_open_in_write_mode(self):
+        findings = run_rule(
+            AtomicCheckpointWriteRule,
+            """
+def save(checkpoint_path):
+    with checkpoint_path.open("w") as handle:
+        handle.write("{}")
+""",
+        )
+        assert len(findings) == 1
+
+    def test_reads_and_unrelated_writes_pass(self):
+        findings = run_rule(
+            AtomicCheckpointWriteRule,
+            """
+def load(checkpoint_path, report_path):
+    with open(checkpoint_path, "rb") as handle:
+        blob = handle.read()
+    with open(report_path, "w") as handle:
+        handle.write("ok")
+    return blob
+""",
+        )
+        assert findings == []
+
+    def test_checkpoint_module_is_exempt(self):
+        findings = run_rule(
+            AtomicCheckpointWriteRule,
+            """
+import os
+
+def atomic_write_bytes(path, blob):
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+    os.replace(tmp, path)
+""",
+            relpath="src/repro/runtime/resilience/checkpoint.py",
         )
         assert findings == []

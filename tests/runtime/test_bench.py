@@ -66,6 +66,33 @@ class TestRuntimeSpec:
         spec = RuntimeSpec(scale=get_scale("tiny"))
         assert RuntimeSpec.from_dict(spec.to_dict()) == spec
 
+    def test_resilience_specs_round_trip_in_canonical_form(self):
+        spec = RuntimeSpec(
+            workload="tpch_q5_chain",
+            kill_worker="revenue-agg:0@3",
+            scale_at="2:order-join:1",
+            checkpoint_dir="/tmp/ckpt",
+            checkpoint_every=2,
+        )
+        assert spec.scale_at == "2:order-join:+1"  # normalised sign
+        assert RuntimeSpec.from_dict(spec.to_dict()) == spec
+        config = spec.runtime_config()
+        assert config.kill_worker == ("revenue-agg", 0, 3)
+        assert config.scale_at == (2, "order-join", 1)
+        assert config.checkpoint_every == 2
+
+    def test_resilience_specs_fail_fast(self):
+        with pytest.raises(ValueError):
+            RuntimeSpec(workload="wordcount", kill_worker="a:0@1")
+        with pytest.raises(KeyError):
+            RuntimeSpec(workload="tpch_q5_chain", kill_worker="nope:0@1")
+        with pytest.raises(KeyError):
+            RuntimeSpec(workload="tpch_q5_chain", scale_at="2:nope:+1")
+        with pytest.raises(ValueError):
+            RuntimeSpec(workload="tpch_q5_chain", kill_worker="bad-spec")
+        with pytest.raises(ValueError):
+            RuntimeSpec(workload="tpch_q5_chain", checkpoint_every=0)
+
     def test_rejects_unknown_workload(self):
         with pytest.raises(KeyError):
             RuntimeSpec(workload="nope")
