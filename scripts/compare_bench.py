@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_runtime.json report against the checked-in bench baseline.
+
+CI's bench-trajectory job runs this after schema validation: each measured
+row of the commit's report is compared against the same row of
+``benchmarks/baseline_bench.json`` with per-metric tolerance bands —
+
+* **throughput** (``tuples_per_second``): a drop beyond 20% of the baseline
+  FAILS the build; a drop beyond half the band (10%) prints a WARN;
+* **tail latency** (``latency_p99_ms``): a rise beyond 50% of the baseline
+  *and* beyond 15 ms absolute FAILS; half of both thresholds WARNs.  The
+  absolute slack keeps the nearly-idle rows honest: a lightly-loaded final
+  stage has a single-digit-ms p99 where scheduler jitter alone is worth
+  tens of percent.
+
+Improvements never fail.  A row present in the baseline but missing from the
+report fails (coverage regression); a row the baseline has never seen warns
+(new benchmark — refresh the baseline to start gating it).  Pacing
+(``--service-time-us``) makes the measured figures dominated by the emulated
+service time rather than host speed, which is what makes a checked-in
+baseline meaningful across runner generations; the bands are sized for the
+residual machine-to-machine jitter.
+
+Usage::
+
+    python scripts/compare_bench.py BENCH_runtime.json \
+        --baseline benchmarks/baseline_bench.json
+
+**Refreshing the baseline** (after an intentional performance change, or
+when a new workload/strategy row appears): regenerate the report(s) with the
+exact bench flags CI uses (see .github/workflows/ci.yml, bench-trajectory
+job), fold each into the baseline, and commit the result::
+
+    PYTHONPATH=src python -m repro bench tpch_q5_chain --parallelism 2 \
+        --scale tiny --sanitize --output BENCH_runtime.json
+    python scripts/compare_bench.py BENCH_runtime.json \
+        --baseline benchmarks/baseline_bench.json --write-baseline
+
+``--write-baseline`` replaces only the report's own workload section, so
+refreshing one workload never clobbers the others' baselines.
+
+Standalone on purpose: no repro import, stdlib only — it must keep working
+against reports from older commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Gated metrics: (key, direction, fail fraction, absolute slack).
+#: ``direction`` is +1 when bigger is better (throughput), -1 when smaller is
+#: better (latency).  A row fails only when the regression exceeds *both* the
+#: fraction of the baseline and the absolute slack (in the metric's unit) —
+#: the slack keeps small-valued noisy rows from tripping the relative band.
+GATES = (
+    ("tuples_per_second", +1, 0.20, 0.0),
+    ("latency_p99_ms", -1, 0.50, 15.0),
+)
+
+#: A WARN prints once the regression passes this fraction of the fail band.
+WARN_FRACTION = 0.5
+
+
+def _row_key(row: dict) -> str:
+    parts = [str(row.get("strategy", "?"))]
+    if "stage" in row:
+        parts.append(str(row["stage"]))
+    if "offered_rate" in row:
+        parts.append(f"@{row['offered_rate']:g}")
+    return "|".join(parts)
+
+
+def _extract(report: dict) -> tuple[str, dict]:
+    """Reduce a full bench report to ``(workload, {row key: gated metrics})``."""
+    workload = report.get("spec", {}).get("workload")
+    if not workload:
+        raise SystemExit("FAIL: report has no spec.workload")
+    rows = {}
+    for row in report.get("rows", []):
+        rows[_row_key(row)] = {
+            key: row[key] for key, _, _, _ in GATES if key in row
+        }
+    if not rows:
+        raise SystemExit("FAIL: report has no rows to compare")
+    return workload, rows
+
+
+def _write_baseline(path: Path, workload: str, rows: dict, report: dict) -> None:
+    baseline = {}
+    if path.is_file():
+        baseline = json.loads(path.read_text())
+    baseline.setdefault("workloads", {})[workload] = {
+        "run_id": report.get("metadata", {}).get("run_id"),
+        "git_rev": report.get("metadata", {}).get("git_rev"),
+        "rows": rows,
+    }
+    path.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n")
+    print(f"baseline updated: {path} [{workload}: {len(rows)} rows]")
+
+
+def _compare(current: dict, recorded: dict, label: str) -> list[str]:
+    """One row against its baseline; returns FAIL messages, prints WARN/ok."""
+    failures = []
+    for key, direction, band, slack in GATES:
+        if key not in recorded:
+            continue
+        if key not in current:
+            failures.append(f"{label}: metric {key!r} disappeared from report")
+            continue
+        base, now = float(recorded[key]), float(current[key])
+        if base <= 0:
+            continue
+        # Signed regression: positive = worse, whichever direction.  The
+        # fraction drives the band; the raw delta must also clear the
+        # absolute slack so tiny noisy values can't trip the gate.
+        delta = direction * (base - now)
+        regression = delta / base
+        if regression > band and delta > slack:
+            failures.append(
+                f"{label}: {key} {now:,.1f} vs baseline {base:,.1f} "
+                f"({regression:+.1%} worse, band {band:.0%})"
+            )
+        elif regression > band * WARN_FRACTION and delta > slack * WARN_FRACTION:
+            print(
+                f"WARN {label}: {key} {now:,.1f} vs baseline {base:,.1f} "
+                f"({regression:+.1%} worse, fails beyond {band:.0%})"
+            )
+    return failures
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare a bench report against the checked-in baseline."
+    )
+    parser.add_argument("report", type=Path, help="BENCH_*.json to gate")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/baseline_bench.json"),
+        help="checked-in baseline file (default benchmarks/baseline_bench.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh the baseline's section for this report's workload and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.report.is_file():
+        raise SystemExit(f"FAIL: no such report: {args.report}")
+    report = json.loads(args.report.read_text())
+    workload, rows = _extract(report)
+
+    if args.write_baseline:
+        _write_baseline(args.baseline, workload, rows, report)
+        return 0
+
+    if not args.baseline.is_file():
+        raise SystemExit(
+            f"FAIL: no baseline at {args.baseline} — create it with "
+            f"--write-baseline (see the refresh procedure in this script)"
+        )
+    baseline = json.loads(args.baseline.read_text())
+    section = baseline.get("workloads", {}).get(workload)
+    if section is None:
+        raise SystemExit(
+            f"FAIL: baseline {args.baseline} has no section for workload "
+            f"{workload!r} — refresh it with --write-baseline"
+        )
+    recorded_rows = section.get("rows", {})
+
+    failures: list[str] = []
+    compared = 0
+    for key in sorted(recorded_rows):
+        if key not in rows:
+            failures.append(
+                f"{workload}/{key}: row in baseline but missing from report"
+            )
+    for key in sorted(rows):
+        if key not in recorded_rows:
+            print(
+                f"WARN {workload}/{key}: not in baseline (new row — refresh "
+                f"with --write-baseline to start gating it)"
+            )
+            continue
+        compared += 1
+        failures.extend(_compare(rows[key], recorded_rows[key], f"{workload}/{key}"))
+
+    for message in failures:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if failures:
+        print(
+            f"FAIL: {len(failures)} regression(s) against {args.baseline} "
+            f"(baseline run {section.get('run_id')})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: {args.report} — {compared} row(s) within tolerance of "
+        f"{args.baseline} [{workload}]"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -107,11 +107,56 @@ def validate_report(payload: dict) -> int:
 
     _validate_rate_sweep(spec, rows)
     _validate_resilience(spec, per_strategy)
+    _validate_fan_in(rows, payload.get("sanitizer"))
     if "router_micro" in payload:
         _validate_router_micro(payload["router_micro"])
     if "sanitizer" in payload:
         _validate_sanitizer(payload["sanitizer"])
     return len(rows)
+
+
+#: Split-key routing statistics a key-splitting stage row reports together.
+SPLIT_STAT_KEYS = ("split_keys", "total_partials", "max_partials_per_key")
+
+
+def _validate_fan_in(rows: list, sanitizer) -> None:
+    """DAG stage rows: sane ``upstreams`` counts, and fan-in checks fired.
+
+    A stage row with ``upstreams >= 2`` is a fan-in consumer; if the run was
+    sanitized, the multi-origin checks (``fan_in_watermark`` /
+    ``fan_in_conservation``) must actually have been evaluated — a diamond
+    bench whose sanitizer never saw a fan-in edge means the instrumentation
+    came unwired.  Split statistics, when present, must arrive as a complete,
+    consistent set.
+    """
+    fan_in_rows = []
+    for index, row in enumerate(rows):
+        label = f"rows[{index}]"
+        if "upstreams" in row:
+            _check_number(label, "upstreams", row["upstreams"])
+            if row["upstreams"] >= 2:
+                fan_in_rows.append(label)
+        present = [key for key in SPLIT_STAT_KEYS if key in row]
+        if present and len(present) != len(SPLIT_STAT_KEYS):
+            _fail(
+                f"{label}: partial split statistics {present}, expected all "
+                f"of {list(SPLIT_STAT_KEYS)}"
+            )
+        for key in present:
+            _check_number(label, key, row[key])
+        if present and row["split_keys"] > 0 and row["max_partials_per_key"] < 2:
+            _fail(
+                f"{label}: {row['split_keys']} split keys but "
+                f"max_partials_per_key is {row['max_partials_per_key']}"
+            )
+    if fan_in_rows and isinstance(sanitizer, dict):
+        checks = sanitizer.get("checks") or {}
+        for check in ("fan_in_watermark", "fan_in_conservation"):
+            if checks.get(check, 0) <= 0:
+                _fail(
+                    f"{fan_in_rows[0]} is a fan-in stage (upstreams >= 2) but "
+                    f"sanitizer check {check!r} never fired: {checks}"
+                )
 
 
 def _validate_rate_sweep(spec: dict, rows: list) -> None:

@@ -16,7 +16,14 @@ rules (:mod:`repro.analysis.rules`) pin at the source level —
 * **conservation** — tuples offered = enqueued to workers + shed, and
   tuples processed = enqueued (reusing the router/worker parity
   accounting): a leak or double-count anywhere in the
-  dispatch/pause-buffer/shed plumbing shows up as an imbalance here.
+  dispatch/pause-buffer/shed plumbing shows up as an imbalance here;
+* **fan_in_watermark** — on a DAG consumer, accepted upstream marks advance
+  strictly per ``(origin, producer)`` edge, and no interval closes before
+  *every* upstream origin marked it (an independent re-check of the stage
+  loop's multi-origin mark barrier);
+* **fan_in_conservation** — the per-origin ingress tuple counts (after
+  replay dedup) sum to the stage's dispatch-side offered total, so a
+  fan-in funnel neither loses nor double-counts an edge's tuples.
 
 Violations are *recorded*, never raised: a sanitized bench completes and
 reports, exactly so the checker can ride along in CI without turning an
@@ -30,7 +37,7 @@ from __future__ import annotations
 import threading
 from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 __all__ = [
     "SanitizedQueue",
@@ -115,11 +122,17 @@ class StageSanitizer:
         stage: str,
         report: SanitizerReport,
         message_types: Optional[Set[str]] = None,
+        origins: Optional[Sequence[str]] = None,
     ) -> None:
         self.stage = stage
         self.report = report
         self._registry = (
             message_types if message_types is not None else _message_registry()
+        )
+        #: Declared upstream edges of the stage (``None`` = learn them from
+        #: the marks actually observed — single-stage and unit-test use).
+        self._origins: Optional[Set[str]] = (
+            set(origins) if origins is not None else None
         )
         #: Last EndInterval sent per task (strict monotonicity).
         self._last_marker: Dict[int, int] = {}
@@ -131,6 +144,12 @@ class StageSanitizer:
         self._pause_depth = 0
         #: Tuples enqueued onto worker queues (TupleBatch payload sizes).
         self._enqueued = 0
+        #: Ingress tuples accepted per upstream origin (post replay-dedup).
+        self._received: Dict[str, int] = {}
+        #: Last accepted upstream-mark interval per (origin, producer).
+        self._edge_marks: Dict[Any, int] = {}
+        #: Origins whose mark arrived per still-open interval.
+        self._interval_origins: Dict[int, Set[str]] = {}
         #: True while the supervisor replays a retention log: replayed
         #: batches were already counted when first enqueued, so counting
         #: them again would break end-of-run conservation.
@@ -180,6 +199,45 @@ class StageSanitizer:
         if type_name == "TupleBatch" and keys is not None and not self._replaying:
             self._enqueued += len(keys)
 
+    # -- fan-in ingress ---------------------------------------------------
+
+    def on_ingress_batch(self, origin: str, count: int) -> None:
+        """Called for each accepted (post replay-dedup) ingress batch.
+
+        The per-origin totals reconcile against the router's dispatch-side
+        offered count at :meth:`finalize` — the multi-upstream conservation
+        book.
+        """
+        self._received[origin] = self._received.get(origin, 0) + int(count)
+
+    def on_upstream_mark(self, origin: str, producer: int, interval: int) -> None:
+        """Called for each *accepted* upstream mark (post floor-dedup).
+
+        Independently re-checks the stage loop's barrier dedup — an accepted
+        mark must strictly advance its ``(origin, producer)`` edge — and
+        records which origins marked the interval, so :meth:`on_close` can
+        verify no interval closes with an upstream origin still unheard.
+        """
+        self.report.count_check("fan_in_watermark")
+        if self._origins is not None and origin not in self._origins:
+            self._violate(
+                "fan_in_watermark",
+                f"mark from undeclared upstream origin {origin!r} "
+                f"(declared: {sorted(self._origins)})",
+                interval=interval,
+            )
+        edge = (origin, producer)
+        last = self._edge_marks.get(edge)
+        if last is not None and interval <= last:
+            self._violate(
+                "fan_in_watermark",
+                f"accepted upstream mark went backwards on edge "
+                f"{origin}:{producer}: {interval} after {last}",
+                interval=interval,
+            )
+        self._edge_marks[edge] = interval
+        self._interval_origins.setdefault(interval, set()).add(origin)
+
     # -- supervised recovery ---------------------------------------------
 
     def on_respawn(self, task: int) -> None:
@@ -213,6 +271,17 @@ class StageSanitizer:
                 interval=interval,
             )
         self._last_closed = interval
+        marked = self._interval_origins.pop(interval, set())
+        if self._origins is not None:
+            self.report.count_check("fan_in_watermark")
+            missing = self._origins - marked
+            if missing:
+                self._violate(
+                    "fan_in_watermark",
+                    f"interval {interval} closed before upstream origin(s) "
+                    f"{sorted(missing)} marked it",
+                    interval=interval,
+                )
 
     # -- pause/resume ----------------------------------------------------
 
@@ -275,6 +344,17 @@ class StageSanitizer:
                 "conservation",
                 f"processed {processed:g} != enqueued {self._enqueued}",
             )
+        if self._received:
+            # Multi-upstream conservation: every edge's accepted ingress
+            # tuples — and nothing else — reached the dispatch accounting.
+            self.report.count_check("fan_in_conservation", len(self._received))
+            total = sum(self._received.values())
+            if round(offered) != total:
+                self._violate(
+                    "fan_in_conservation",
+                    f"per-origin ingress {dict(sorted(self._received.items()))} "
+                    f"sums to {total} != offered {offered:g}",
+                )
 
 
 class SanitizedQueue:

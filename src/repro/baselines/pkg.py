@@ -147,6 +147,22 @@ class PartialKeyGrouping(Partitioner):
         """Total number of (key, task) partial-state pairs this interval."""
         return sum(len(tasks) for tasks in self.split_counts.values())
 
+    def split_assignment(self) -> Dict[Key, Tuple[int, ...]]:
+        """The interval's split placement: each routed key's partial-holding
+        tasks, sorted.
+
+        A key routed to a single task maps to a 1-tuple; a *split* key (the
+        hot keys the two-choices rule actually fans out) maps to several.
+        This is the explicit form of the placement the downstream merge
+        stage reconstructs from the ``(source, partial)`` tags — exposed so
+        benches and tests can assert how many keys were split and how wide,
+        without reverse-engineering :attr:`split_counts`.
+        """
+        return {
+            key: tuple(sorted(per_task))
+            for key, per_task in self.split_counts.items()
+        }
+
     # -- lifecycle --------------------------------------------------------------------
 
     def on_interval_end(self, stats: IntervalStats) -> None:

@@ -197,8 +197,9 @@ def build_parser() -> argparse.ArgumentParser:
         "workload",
         help=(
             "bench workload (wordcount | windowed_aggregate | tpch_q5 | "
-            "tpch_q5_chain | tpch_q5_trace; the last two run the multi-stage "
-            "Q5 process topology)"
+            "tpch_q5_chain | tpch_q5_trace | diamond; tpch_q5_chain/_trace "
+            "run the multi-stage Q5 process topology, diamond the split-key "
+            "fan-out/fan-in DAG)"
         ),
     )
     benchp.add_argument(
@@ -225,7 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     benchp.add_argument(
         "--strategies",
         default=None,
-        help="comma-separated strategy list (default: storm,mixed)",
+        help=(
+            "comma-separated strategy list (default: storm,mixed; "
+            "diamond defaults to pkg,storm,mixed)"
+        ),
     )
     benchp.add_argument(
         "--set",
@@ -534,17 +538,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.store import ResultsStore
     from repro.runtime.bench import (
+        BENCH_TOPOLOGY_WORKLOADS,
         DEFAULT_STRATEGIES,
         RuntimeSpec,
         merged_sanitizer_report,
         run_bench,
     )
 
-    strategies = (
-        [name for name in args.strategies.split(",") if name]
-        if args.strategies is not None
-        else list(DEFAULT_STRATEGIES)
-    )
+    if args.strategies is not None:
+        strategies = [name for name in args.strategies.split(",") if name]
+    else:
+        # Workloads may pin their own comparison set (the diamond adds pkg,
+        # whose key splitting is the topology's whole point).
+        workload = BENCH_TOPOLOGY_WORKLOADS.get(args.workload)
+        default = (
+            workload.default_strategies
+            if workload is not None and workload.default_strategies is not None
+            else DEFAULT_STRATEGIES
+        )
+        strategies = list(default)
     calibrate = args.service_time_us == "auto"
     try:
         spec = RuntimeSpec(

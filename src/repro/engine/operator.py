@@ -145,6 +145,30 @@ class OperatorLogic(ABC):
                 out_values.append(tup.value)
         return out_keys, out_values
 
+    #: Whether the operator participates in the split-key execution mode:
+    #: its emissions are *partial* aggregates that a downstream merge stage
+    #: recombines per original key via :meth:`merge`.
+    mergeable: bool = False
+
+    def merge(self, key: Key, partials: Sequence[Any]) -> Any:
+        """Combine split-key partial aggregates of ``key`` into one value.
+
+        The merge-stage contract of the PKG execution mode (paper Fig. 2):
+        an upstream operator fans a hot key's tuples across replicas, each
+        replica emits a partial result, and the merge stage — fed by one or
+        more upstream branches — calls this with every partial collected for
+        ``key``.  Must be associative in the partials (replicas and branches
+        deliver in arbitrary order) so that merging any grouping of the
+        partials yields the same value.
+
+        Only meaningful when :attr:`mergeable` is True; key-contiguous
+        operators have nothing to merge.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not mergeable: it emits final values, "
+            f"not split-key partials"
+        )
+
     def merge_overhead(self, distinct_partials: int) -> float:
         """Extra per-interval cost of merging split-key partial results.
 

@@ -137,9 +137,35 @@ class PartialWindowedAggregate(WindowedAggregate):
     sees the share of a key's tuples the splitter routed to it, so its state is
     a *partial* aggregate.  Emitted tuples are tagged with the producing task
     so the merger can deduplicate.
+
+    ``source_tag`` labels the *stage* producing the partial: in a DAG whose
+    merge stage fans in from several split stages, task ids collide across
+    stages, so each branch tags its partials ``(source_tag, task_id)`` and the
+    merger keeps one slot per (stage, task) instead of overwriting a sibling
+    branch's partial.
     """
 
     name = "partial-aggregate"
+    mergeable = True
+
+    def __init__(
+        self,
+        reducer: Optional[Reducer] = None,
+        window: int = 1,
+        cost_per_tuple: float = 1.0,
+        state_per_tuple: float = 1.0,
+        source_tag: str = "",
+    ) -> None:
+        super().__init__(
+            reducer=reducer,
+            window=window,
+            cost_per_tuple=cost_per_tuple,
+            state_per_tuple=state_per_tuple,
+        )
+        self.source_tag = source_tag
+
+    def _partial_id(self, task_id: int) -> Any:
+        return (self.source_tag, task_id) if self.source_tag else task_id
 
     def process(
         self, tup: StreamTuple, state: KeyedState, task_id: int
@@ -153,7 +179,7 @@ class PartialWindowedAggregate(WindowedAggregate):
         return [
             StreamTuple(
                 key=tup.key,
-                value=(task_id, partial),
+                value=(self._partial_id(task_id), partial),
                 interval=tup.interval,
                 stream="partials",
             )
@@ -172,6 +198,7 @@ class PartialWindowedAggregate(WindowedAggregate):
         accumulate = state.accumulate
         reducer = self.reducer
         state_per_tuple = self.state_per_tuple
+        partial_id = self._partial_id(task_id)
         out_values: List[Any] = []
         append = out_values.append
         for key, value in zip(keys, values):
@@ -181,8 +208,15 @@ class PartialWindowedAggregate(WindowedAggregate):
                 state_per_tuple,
                 payload_update=lambda old, value=value: reducer(old, value),
             )
-            append((task_id, partial))
+            append((partial_id, partial))
         return list(keys), out_values
+
+    def merge(self, key: Key, partials: Sequence[Any]) -> Any:
+        """Fold split-key partials of ``key`` with the aggregate's reducer."""
+        result: Any = None
+        for partial in partials:
+            result = self.reducer(result, partial)
+        return result
 
     def merge_overhead(self, distinct_partials: int) -> float:
         # One merge unit of work per (key, task) partial produced this interval.
@@ -194,11 +228,15 @@ class MergeOperator(OperatorLogic):
 
     Keys are routed to the merger by plain hashing (every partial of a key must
     meet at a single merger task), so the merger itself is a stateful
-    key-contiguous operator — the extra hop PKG cannot avoid.
+    key-contiguous operator — the extra hop PKG cannot avoid.  Partials arrive
+    as ``(partial_id, partial)`` pairs; the id is the producing task, or a
+    ``(source_tag, task_id)`` pair when several split stages fan in to the
+    merger, so sibling branches never overwrite each other's slot.
     """
 
     name = "merge"
     stateful = True
+    mergeable = True
 
     def __init__(
         self,
@@ -229,25 +267,47 @@ class MergeOperator(OperatorLogic):
     ) -> BatchCost:
         return self.state_delta(None)
 
-    def process(
-        self, tup: StreamTuple, state: KeyedState, task_id: int
-    ) -> List[StreamTuple]:
-        if isinstance(tup.value, tuple) and len(tup.value) == 2:
-            source_task, partial = tup.value
-        else:  # plain value (e.g. unit test feeding raw numbers)
-            source_task, partial = 0, tup.value
+    def merge(self, key: Key, partials: Sequence[Any]) -> Any:
+        """Fold the collected per-producer partials of ``key`` into one value."""
+        combined: Any = None
+        for value in partials:
+            combined = self.reducer(combined, value)
+        return combined
 
-        def update(old: Optional[Dict[int, Any]]) -> Dict[int, Any]:
+    def _absorb(
+        self, key: Key, value: Any, interval: int, state: KeyedState
+    ) -> Any:
+        if isinstance(value, tuple) and len(value) == 2:
+            source, partial = value
+        else:  # plain value (e.g. unit test feeding raw numbers)
+            source, partial = 0, value
+
+        def update(old: Optional[Dict[Any, Any]]) -> Dict[Any, Any]:
             merged = dict(old) if old else {}
-            merged[source_task] = partial
+            merged[source] = partial
             return merged
 
         partials = state.accumulate(
-            tup.key, tup.interval, self.state_delta(tup.key), payload_update=update
+            key, interval, self.state_delta(key), payload_update=update
         )
-        combined: Any = None
-        for value in partials.values():
-            combined = self.reducer(combined, value)
+        return self.merge(key, list(partials.values()))
+
+    def process(
+        self, tup: StreamTuple, state: KeyedState, task_id: int
+    ) -> List[StreamTuple]:
+        combined = self._absorb(tup.key, tup.value, tup.interval, state)
         return [
             StreamTuple(key=tup.key, value=combined, interval=tup.interval, stream="merged")
         ]
+
+    def process_batch(
+        self,
+        keys: Sequence[Key],
+        values: Sequence[Any],
+        interval: int,
+        state: KeyedState,
+        task_id: int,
+    ) -> Tuple[List[Key], List[Any]]:
+        absorb = self._absorb
+        out_values = [absorb(key, value, interval, state) for key, value in zip(keys, values)]
+        return list(keys), out_values

@@ -17,14 +17,20 @@ Two workload families:
   through a :class:`~repro.runtime.local.LocalRuntime` — the repo's
   snapshot generators expanded into shuffled per-interval tuple lists.
 * **Multi-stage topologies** (:data:`BENCH_TOPOLOGY_WORKLOADS`:
-  ``tpch_q5_chain`` / ``tpch_q5_trace``) run the full continuous Q5 chain —
-  order-join → customer-join → revenue-agg — as a
+  ``tpch_q5_chain`` / ``tpch_q5_trace`` / ``diamond``) run through a
   :class:`~repro.runtime.topology.TopologyRuntime` process pipeline with
   bounded inter-stage queues, per-stage rebalancing controllers and one
-  open-loop source, reproducing the paper's Fig. 16 chained-starvation
-  experiment on measured wall clock.  ``tpch_q5_chain`` streams synthetic
-  Zipf-skewed arrivals; ``tpch_q5_trace`` replays the generated lineitem
-  table (:class:`~repro.workloads.tpch.TPCHLineitemTrace`).
+  open-loop source.  The Q5 workloads run the full continuous chain —
+  order-join → customer-join → revenue-agg — reproducing the paper's
+  Fig. 16 chained-starvation experiment on measured wall clock
+  (``tpch_q5_chain`` streams synthetic Zipf-skewed arrivals;
+  ``tpch_q5_trace`` replays the generated lineitem table).  ``diamond``
+  runs the split-key fan-out/fan-in DAG of the PKG execution mode —
+  source → split-agg ×2 → merge — where the merge stage closes its
+  intervals on marks from *both* branches and recombines each key's
+  tagged partial aggregates; its default strategy set adds ``pkg`` so the
+  report shows key splitting (PKG) against key-contiguous hashing (storm)
+  and the paper's mixed routing side by side.
 """
 
 from __future__ import annotations
@@ -61,7 +67,11 @@ from repro.experiments.config import ExperimentScale, get_scale
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.specs import ExperimentRun, ExperimentSpec, RunMetadata, git_revision
 from repro.operators.tpch_q5 import DimensionJoin, q5_revenue_reducer
-from repro.operators.windowed_aggregate import WindowedAggregate
+from repro.operators.windowed_aggregate import (
+    MergeOperator,
+    PartialWindowedAggregate,
+    WindowedAggregate,
+)
 from repro.operators.wordcount import WordCountOperator
 from repro.runtime.local import LocalRuntime, RuntimeConfig, RuntimeResult
 from repro.runtime.resilience.scaling import parse_scale_spec
@@ -512,7 +522,10 @@ class TopologyBenchWorkload:
     ``build_topology(scale, spec, strategy, build)`` assembles the
     :class:`~repro.runtime.topology.TopologySpec` with ``strategy`` routing
     the stages under study (``build`` constructs a registry strategy for a
-    given stage parallelism).
+    given stage parallelism).  ``default_strategies`` overrides the global
+    :data:`DEFAULT_STRATEGIES` when the user names none — the diamond
+    defaults to comparing ``pkg`` as well, since key splitting is the very
+    thing its topology exercises.
     """
 
     stages: Tuple[str, ...]
@@ -520,6 +533,7 @@ class TopologyBenchWorkload:
     build_topology: Callable[
         [ExperimentScale, "RuntimeSpec", str, StrategyBuilder], TopologySpec
     ]
+    default_strategies: Optional[Tuple[str, ...]] = None
 
 
 @functools.lru_cache(maxsize=4)
@@ -637,6 +651,80 @@ def _q5_chain_topology(
     return TopologySpec("tpch-q5-chain", stages)
 
 
+#: The diamond's stages: two split-aggregate branches fanning out from the
+#: source, fanning back into one merge stage.
+DIAMOND_STAGES: Tuple[str, ...] = ("split-agg-a", "split-agg-b", "merge")
+
+#: Every partial of a key must meet at one merger task, so the merge stage
+#: always routes by plain hashing regardless of the strategy under test.
+DIAMOND_MERGE_STRATEGY = "storm"
+
+
+def _diamond_stream(
+    scale: ExperimentScale, seed: int
+) -> List[List[Tuple[Key, Any]]]:
+    """Zipf-skewed unit-value arrivals: a hot-key stream worth splitting."""
+    workload = ZipfWorkload(
+        num_keys=scale.num_keys,
+        skew=scale.skew,
+        tuples_per_interval=scale.tuples_per_interval,
+        fluctuation=scale.fluctuation,
+        num_tasks=1,
+        intervals=scale.sim_intervals,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed + 1)
+    return _expand_snapshots(workload.take(scale.sim_intervals), rng, value=1.0)
+
+
+def _diamond_topology(
+    scale: ExperimentScale,
+    spec: "RuntimeSpec",
+    strategy: str,
+    build: StrategyBuilder,
+) -> TopologySpec:
+    """Assemble source → split-agg ×2 → merge for the runtime.
+
+    Both branch stages pin ``upstream=()`` to the source, which round-robins
+    its chunks across them; each runs a :class:`PartialWindowedAggregate`
+    under the strategy under test, tagging its partials with the branch name
+    so the two branches' task ids cannot collide at the merger.  The merge
+    stage fans in from both branches (interval k closes only once every
+    producer of *both* marked it), re-keyed implicitly — partials keep their
+    original key — and hashed key-contiguously so all of a key's partials
+    meet at one task.
+    """
+    overrides = spec.stage_parallelism
+    branch_a_p = overrides.get("split-agg-a", spec.parallelism)
+    branch_b_p = overrides.get("split-agg-b", spec.parallelism)
+    merge_p = overrides.get("merge", max(1, min(spec.parallelism, 4)))
+    stages = [
+        StageSpec(
+            name="split-agg-a",
+            logic=PartialWindowedAggregate(
+                window=scale.window, source_tag="a"
+            ),
+            partitioner=build(strategy, branch_a_p),
+            upstream=(),
+        ),
+        StageSpec(
+            name="split-agg-b",
+            logic=PartialWindowedAggregate(
+                window=scale.window, source_tag="b"
+            ),
+            partitioner=build(strategy, branch_b_p),
+            upstream=(),
+        ),
+        StageSpec(
+            name="merge",
+            logic=MergeOperator(window=scale.window, cost_per_partial=0.5),
+            partitioner=build(DIAMOND_MERGE_STRATEGY, merge_p),
+            upstream=("split-agg-a", "split-agg-b"),
+        ),
+    ]
+    return TopologySpec("diamond", stages)
+
+
 #: Multi-stage bench workloads, run through :class:`TopologyRuntime`.
 BENCH_TOPOLOGY_WORKLOADS: Dict[str, TopologyBenchWorkload] = {
     "tpch_q5_chain": TopologyBenchWorkload(
@@ -648,6 +736,12 @@ BENCH_TOPOLOGY_WORKLOADS: Dict[str, TopologyBenchWorkload] = {
         stages=Q5_CHAIN_STAGES,
         build_stream=_q5_trace_stream,
         build_topology=_q5_chain_topology,
+    ),
+    "diamond": TopologyBenchWorkload(
+        stages=DIAMOND_STAGES,
+        build_stream=_diamond_stream,
+        build_topology=_diamond_topology,
+        default_strategies=("pkg", "storm", "mixed"),
     ),
 }
 
@@ -706,6 +800,15 @@ def _topology_rows(name: str, outcome: TopologyResult) -> List[Dict[str, Any]]:
         row: Dict[str, Any] = {"strategy": name, "stage": stage_name}
         row.update(stage.summary())
         row["mean_skewness"] = stage.metrics.mean_skewness
+        # DAG shape: ≥ 2 marks a fan-in consumer (validators require its
+        # sanitized runs to have exercised the fan-in checks).
+        row["upstreams"] = stage.upstreams
+        if stage.split_stats is not None:
+            row["split_keys"] = stage.split_stats["split_keys"]
+            row["total_partials"] = stage.split_stats["total_partials"]
+            row["max_partials_per_key"] = stage.split_stats[
+                "max_partials_per_key"
+            ]
         rows.append(row)
     return rows
 

@@ -189,6 +189,12 @@ class EmittedBatch:
     #: (the source process) disables the dedup.
     producer_id: int = -1
     producer_seq: int = -1
+    #: Name of the producing stage ("source" for the source process).  In a
+    #: DAG topology a consumer stage can have several upstream stages feeding
+    #: one shared ingress queue; ``origin`` identifies the edge so the
+    #: consumer can dedup and close intervals per (origin, producer).  The
+    #: empty string (linear chains, old pickles) means "the only upstream".
+    origin: str = ""
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -198,14 +204,16 @@ class EmittedBatch:
 class UpstreamMark:
     """One producer finished emitting for ``interval``.
 
-    The downstream router closes the interval once every producer's mark
-    arrived (producer = source process for stage 0, upstream worker for
-    later stages; FIFO queue order guarantees the mark follows the
-    producer's last batch of the interval).
+    The downstream router closes the interval once every producer of **every
+    upstream stage** has marked it (producer = source process for stage 0,
+    upstream worker for later stages; FIFO queue order guarantees the mark
+    follows the producer's last batch of the interval on its edge).
     """
 
     producer_id: int
     interval: int
+    #: Producing stage name; see :class:`EmittedBatch.origin`.
+    origin: str = ""
 
 
 @dataclass
@@ -213,6 +221,8 @@ class UpstreamDone:
     """One producer reached end of stream and will emit nothing more."""
 
     producer_id: int
+    #: Producing stage name; see :class:`EmittedBatch.origin`.
+    origin: str = ""
 
 
 # -- worker -> coordinator ---------------------------------------------------------

@@ -142,9 +142,12 @@ def execute_scale(loop: Any, directive: ScaleDirective) -> ScaleEvent:
         loop.detach_workers(new, old)
         loop.router.set_queues(loop.guarded_queues)
         loop.controller.set_queues(loop.guarded_queues)
-    if loop.downstream is not None:
-        loop.downstream.set_upstream_producers(
-            loop.current_interval + 1, new, done_delta=max(directive.delta, 0)
+    for downstream in loop.downstreams:
+        downstream.set_upstream_producers(
+            loop.spec.name,
+            loop.current_interval + 1,
+            new,
+            done_delta=max(directive.delta, 0),
         )
     event = ScaleEvent(
         stage=directive.stage,

@@ -161,6 +161,10 @@ class StreamRouter:
         self._accounts: Dict[int, IntervalAccount] = {}
         self._interval = 0
 
+        #: Cumulative split-key routing statistics (``None`` until a
+        #: snapshot finds a key-splitting partitioner underneath).
+        self._split_stats: Optional[Dict[str, float]] = None
+
     # -- interval accounting ------------------------------------------------------
 
     def _account(self, interval: int) -> IntervalAccount:
@@ -371,6 +375,47 @@ class StreamRouter:
             self.shed_ledger.record(task, count)
             shed = self._account(batch.interval).shed
             shed[task] = shed.get(task, 0.0) + count
+
+    # -- split-key routing statistics ---------------------------------------------
+
+    def snapshot_split_stats(self) -> Optional[Dict[str, float]]:
+        """Fold the partitioner's per-interval split bookkeeping into the
+        router's cumulative split-key statistics.
+
+        Key-splitting partitioners (PKG) fan a key's tuples over several
+        replicas and track the fan in ``split_counts``; the coordinator calls
+        this at each interval close, *before*
+        :meth:`~repro.baselines.base.Partitioner.on_interval_end` resets that
+        book.  Returns the updated totals, or ``None`` for key-contiguous
+        partitioners (nothing to read — every key has exactly one replica).
+        """
+        split_counts = getattr(self.partitioner, "split_counts", None)
+        if split_counts is None:
+            return None
+        stats = self._split_stats
+        if stats is None:
+            stats = self._split_stats = {
+                "routed_keys": 0.0,
+                "split_keys": 0.0,
+                "split_tuples": 0.0,
+                "total_partials": 0.0,
+                "max_partials_per_key": 0.0,
+            }
+        for per_task in split_counts.values():
+            fan = len(per_task)
+            stats["routed_keys"] += 1.0
+            stats["total_partials"] += float(fan)
+            if fan > 1:
+                stats["split_keys"] += 1.0
+                stats["split_tuples"] += float(sum(per_task.values()))
+            if fan > stats["max_partials_per_key"]:
+                stats["max_partials_per_key"] = float(fan)
+        return dict(stats)
+
+    @property
+    def split_stats(self) -> Optional[Dict[str, float]]:
+        """Cumulative split-key statistics across closed intervals (a copy)."""
+        return None if self._split_stats is None else dict(self._split_stats)
 
     # -- elastic scaling ----------------------------------------------------------
 

@@ -32,12 +32,16 @@ from typing import Any, Callable, Hashable, List, Optional, Sequence, Tuple
 from repro.runtime.messages import EmittedBatch, UpstreamDone, UpstreamMark
 from repro.runtime.queues import QueueAborted, abortable_put
 
-__all__ = ["SOURCE_PRODUCER_ID", "source_main"]
+__all__ = ["SOURCE_ORIGIN", "SOURCE_PRODUCER_ID", "source_main"]
 
 Key = Hashable
 
 #: Producer id the source uses in its marks (a topology has one source).
 SOURCE_PRODUCER_ID = 0
+
+#: Edge label the source stamps onto its messages; reserved — no stage of a
+#: topology may take this name.
+SOURCE_ORIGIN = "source"
 
 
 def source_main(
@@ -51,6 +55,10 @@ def source_main(
 
     Offers ``stream``'s tuples interval by interval in ``batch_size`` chunks,
     each followed by its interval mark and finally an end-of-stream mark.
+    ``out_queue`` is one queue (a chain's first stage) or a list of queues
+    (a DAG whose source fans out to several stages): data chunks round-robin
+    across the consumers — each gets a disjoint share of the stream — while
+    every interval/end-of-stream mark is replicated to every consumer.
 
     Offer puts are abort-aware (``should_abort`` defaults to "my parent
     process died"): a source blocked on a full queue whose topology already
@@ -70,9 +78,11 @@ def _source_loop(
     rate_tuples_per_s: Optional[float],
     should_abort: Optional[Callable[[], bool]],
 ) -> None:
+    outs = list(out_queue) if isinstance(out_queue, (list, tuple)) else [out_queue]
     interval_pace = 1.0 / rate_tuples_per_s if rate_tuples_per_s else 0.0
     started = time.monotonic()
     offered = 0
+    chunks_sent = 0
     for interval, tuples in enumerate(stream):
         # Split once per interval into the columnar batch layout; slices of
         # the two flat lists are then cheap to chunk and pickle.
@@ -90,21 +100,31 @@ def _source_loop(
             else:
                 origin = time.monotonic()
             abortable_put(
-                out_queue,
+                outs[chunks_sent % len(outs)],
                 EmittedBatch(
                     interval=interval,
                     origin_at=origin,
                     keys=chunk_keys,
                     values=chunk_values,
+                    origin=SOURCE_ORIGIN,
                 ),
                 should_abort,
             )
+            chunks_sent += 1
             offered += len(chunk_keys)
+        for out in outs:
+            abortable_put(
+                out,
+                UpstreamMark(
+                    producer_id=SOURCE_PRODUCER_ID,
+                    interval=interval,
+                    origin=SOURCE_ORIGIN,
+                ),
+                should_abort,
+            )
+    for out in outs:
         abortable_put(
-            out_queue,
-            UpstreamMark(producer_id=SOURCE_PRODUCER_ID, interval=interval),
+            out,
+            UpstreamDone(producer_id=SOURCE_PRODUCER_ID, origin=SOURCE_ORIGIN),
             should_abort,
         )
-    abortable_put(
-        out_queue, UpstreamDone(producer_id=SOURCE_PRODUCER_ID), should_abort
-    )

@@ -92,10 +92,11 @@ from repro.runtime.resilience.supervisor import (
     parse_kill_spec,
 )
 from repro.runtime.router import StreamRouter
-from repro.runtime.source import source_main
+from repro.runtime.source import SOURCE_ORIGIN, source_main
 from repro.runtime.worker import worker_main
 
 __all__ = [
+    "MarkBarrier",
     "RuntimeConfig",
     "RuntimeResult",
     "StageSpec",
@@ -257,16 +258,27 @@ class StageSpec:
     rebalancing strategy.  ``key_mapper`` re-keys the stage's *output*
     tuples for the next stage (e.g. the Q5 order-join re-keys by customer);
     it runs inside the stage's workers, so it must be picklable.
+
+    ``upstream`` names the stages feeding this one and makes the topology a
+    DAG.  ``None`` (the default) keeps the classic chain reading — "the
+    previous stage in the list" (the source for the first stage).  An empty
+    tuple pins the stage directly to the source, so several stages can fan
+    out from it; a tuple of names fans several producer stages into this one
+    (the names must appear *earlier* in the stage list, which makes every
+    spec acyclic by construction).
     """
 
     name: str
     logic: OperatorLogic
     partitioner: Partitioner
     key_mapper: Optional[Callable[[Key], Key]] = None
+    upstream: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("stage name must be non-empty")
+        if self.upstream is not None:
+            object.__setattr__(self, "upstream", tuple(self.upstream))
 
     @property
     def parallelism(self) -> int:
@@ -275,7 +287,7 @@ class StageSpec:
 
 @dataclass(frozen=True)
 class TopologySpec:
-    """An ordered chain of stages fed by one source."""
+    """A DAG of stages fed by one source (a chain being the common case)."""
 
     name: str
     stages: Tuple[StageSpec, ...]
@@ -290,6 +302,57 @@ class TopologySpec:
         names = [stage.name for stage in self.stages]
         if len(names) != len(set(names)):
             raise ValueError(f"duplicate stage names in topology: {names}")
+        if SOURCE_ORIGIN in names:
+            raise ValueError(
+                f"stage name {SOURCE_ORIGIN!r} is reserved for the source"
+            )
+        # Resolve each stage's upstream edges.  Referencing only *earlier*
+        # stages keeps the graph acyclic without a separate cycle check.
+        upstreams: Dict[str, Tuple[str, ...]] = {}
+        earlier: set = set()
+        for index, stage in enumerate(self.stages):
+            if stage.upstream is None:
+                resolved = (
+                    (SOURCE_ORIGIN,)
+                    if index == 0
+                    else (self.stages[index - 1].name,)
+                )
+            elif not stage.upstream:
+                resolved = (SOURCE_ORIGIN,)
+            else:
+                resolved = stage.upstream
+                if len(set(resolved)) != len(resolved):
+                    raise ValueError(
+                        f"stage {stage.name!r} lists a duplicate upstream: "
+                        f"{resolved}"
+                    )
+                for upstream_name in resolved:
+                    if upstream_name == SOURCE_ORIGIN:
+                        continue
+                    if upstream_name not in earlier:
+                        raise ValueError(
+                            f"stage {stage.name!r} upstream {upstream_name!r} "
+                            f"must name an earlier stage (have "
+                            f"{sorted(earlier) or ['<source only>']})"
+                        )
+            upstreams[stage.name] = resolved
+            earlier.add(stage.name)
+        object.__setattr__(self, "_upstreams", upstreams)
+        # Every stage except the last must feed someone, or its emissions
+        # would pile into an egress nobody drains; the last stage is the
+        # topology's single sink (its output is the end-to-end result).
+        consumed = {name for edges in upstreams.values() for name in edges}
+        for stage in self.stages[:-1]:
+            if stage.name not in consumed:
+                raise ValueError(
+                    f"stage {stage.name!r} has no downstream consumer "
+                    f"(only the final stage may be a sink)"
+                )
+        if self.stages[-1].name in consumed:
+            raise ValueError(
+                f"final stage {self.stages[-1].name!r} must be the sink, "
+                f"but another stage consumes it"
+            )
 
     def __len__(self) -> int:
         return len(self.stages)
@@ -299,6 +362,27 @@ class TopologySpec:
 
     def stage_names(self) -> List[str]:
         return [stage.name for stage in self.stages]
+
+    def upstreams_of(self, name: str) -> Tuple[str, ...]:
+        """The resolved upstream edge origins of ``name`` (source included)."""
+        return self._upstreams[name]
+
+    def consumers_of(self, name: str) -> List[str]:
+        """The stages fed by ``name``, in stage-list order."""
+        return [
+            stage.name
+            for stage in self.stages
+            if name in self._upstreams[stage.name]
+        ]
+
+    @property
+    def is_chain(self) -> bool:
+        """True when every stage has exactly the classic linear wiring."""
+        return all(
+            self._upstreams[stage.name]
+            == ((SOURCE_ORIGIN,) if index == 0 else (self.stages[index - 1].name,))
+            for index, stage in enumerate(self.stages)
+        )
 
 
 @dataclass
@@ -331,6 +415,13 @@ class RuntimeResult:
     #: Resilience accounting of this stage (``None`` = subsystem off):
     #: ``{"incidents": [...], "scale_events": [...], "checkpoints": {...}}``.
     resilience: Optional[Dict[str, Any]] = None
+    #: Number of upstream edges feeding this stage (source included); ≥ 2
+    #: marks a fan-in consumer whose intervals close on the multi-origin
+    #: mark barrier.  0 for single-stage runs that bypass the topology.
+    upstreams: int = 0
+    #: Cumulative split-key routing statistics (``None`` unless the stage's
+    #: partitioner splits keys — see :meth:`StreamRouter.snapshot_split_stats`).
+    split_stats: Optional[Dict[str, float]] = None
 
     @property
     def tuples_per_second(self) -> float:
@@ -618,13 +709,137 @@ class _Mailbox:
             self._pending.append(message)
 
 
+class MarkBarrier:
+    """Fan-in interval barrier: per-origin producer marks gate each close.
+
+    One consumer stage may be fed by several upstream *origins* (the source
+    process and/or producer stages).  The barrier tracks, independently per
+    origin, the producer-count timeline of the PR 7 resize machinery —
+    ``(from_interval, count)`` entries appended when an upstream stage
+    resizes — plus the per-``(origin, producer)`` mark floors that dedup
+    post-recovery replays.  :meth:`observe_mark` returns ``True`` exactly
+    when its interval became closable: **every** origin's expected producer
+    count for that interval has marked it.
+
+    Because each producer marks its intervals in increasing order on a FIFO
+    edge, interval ``k+1`` can only complete after every producer already
+    marked ``k`` — so closable intervals emerge in order even across
+    origins, without the barrier having to re-order anything.
+
+    The class is deliberately free of queue/process machinery so protocol
+    tests can drive arbitrary mark/done/resize interleavings directly.
+    """
+
+    def __init__(self, producers: Mapping[str, int]) -> None:
+        if not producers:
+            raise ValueError("a mark barrier needs at least one upstream origin")
+        for origin, count in producers.items():
+            if count < 1:
+                raise ValueError(
+                    f"origin {origin!r} needs a positive producer count, "
+                    f"got {count}"
+                )
+        self._lock = threading.Lock()
+        self._counts: Dict[str, List[Tuple[int, int]]] = {
+            origin: [(0, int(count))] for origin, count in producers.items()
+        }
+        self._expected_done = sum(int(count) for count in producers.values())
+        self._done = 0
+        #: Last accepted mark interval per (origin, producer): replays
+        #: re-emit marks the consumer already counted, and a non-advancing
+        #: mark is a duplicate.
+        self._mark_floor: Dict[Tuple[str, int], int] = {}
+        #: Marks arrived per open interval, split by origin.
+        self._marks: Dict[int, Dict[str, int]] = {}
+
+    @property
+    def origins(self) -> Tuple[str, ...]:
+        return tuple(self._counts)
+
+    @property
+    def finished(self) -> bool:
+        """True once every expected producer sent its end-of-stream."""
+        with self._lock:
+            return self._done >= self._expected_done
+
+    def expected_marks(self, origin: str, interval: int) -> int:
+        """``origin``'s producer count in effect for ``interval``'s marks."""
+        with self._lock:
+            return self._expected_locked(origin, interval)
+
+    def _expected_locked(self, origin: str, interval: int) -> int:
+        timeline = self._counts[origin]
+        expected = timeline[0][1]
+        for start, count in timeline:
+            if interval >= start:
+                expected = count
+        return expected
+
+    def observe_mark(
+        self, origin: str, producer: int, interval: int
+    ) -> Tuple[bool, bool]:
+        """Count one producer mark.
+
+        Returns ``(accepted, closable)``: ``accepted`` is False for a
+        duplicate (a replayed mark at or below the edge's floor), and
+        ``closable`` is True exactly when this mark completed ``interval``
+        across every origin.
+        """
+        with self._lock:
+            if origin not in self._counts:
+                raise KeyError(
+                    f"mark from unknown upstream origin {origin!r} "
+                    f"(expected one of {sorted(self._counts)})"
+                )
+            edge = (origin, producer)
+            floor = self._mark_floor.get(edge)
+            if floor is not None and interval <= floor:
+                return False, False
+            self._mark_floor[edge] = interval
+            arrived = self._marks.setdefault(interval, {})
+            arrived[origin] = arrived.get(origin, 0) + 1
+            for other, timeline in self._counts.items():
+                if arrived.get(other, 0) < self._expected_locked(other, interval):
+                    return True, False
+            del self._marks[interval]
+            return True, True
+
+    def observe_done(self, origin: str) -> None:
+        """Count one producer's end-of-stream."""
+        with self._lock:
+            if origin not in self._counts:
+                raise KeyError(
+                    f"end-of-stream from unknown upstream origin {origin!r} "
+                    f"(expected one of {sorted(self._counts)})"
+                )
+            self._done += 1
+
+    def resize(
+        self, origin: str, from_interval: int, count: int, done_delta: int
+    ) -> None:
+        """An upstream origin resized: new producer count from an interval on.
+
+        Appends to ``origin``'s timeline and adjusts the expected
+        end-of-stream count (scale-out adds producers; scale-in's drained
+        workers still send their own done, so shrink passes zero).
+        """
+        with self._lock:
+            if origin not in self._counts:
+                raise KeyError(
+                    f"resize of unknown upstream origin {origin!r} "
+                    f"(expected one of {sorted(self._counts)})"
+                )
+            self._counts[origin].append((int(from_interval), int(count)))
+            self._expected_done += int(done_delta)
+
+
 class _StageLoop(threading.Thread):
     """The router thread of one stage: ingress → route → workers.
 
-    Consumes the stage's ingress queue (the source queue for stage 0, the
-    previous stage's egress queue otherwise), dispatches batches through the
-    stage's :class:`StreamRouter`, closes intervals when every upstream
-    producer's mark arrived (planning + live migration via the stage's
+    Consumes the stage's shared ingress queue (fed by the source and/or by
+    every upstream stage's workers), dispatches batches through the stage's
+    :class:`StreamRouter`, closes intervals when every upstream origin's
+    producers have marked them (planning + live migration via the stage's
     :class:`RuntimeController`), and finally collects the workers' reports.
     """
 
@@ -636,7 +851,7 @@ class _StageLoop(threading.Thread):
         worker_queues: Sequence[Any],
         out_queue: Any,
         workers: Sequence[Any],
-        upstream_producers: int,
+        upstream_producers: Mapping[str, int],
         abort: _AbortFlag,
         source_process: Optional[Any] = None,
         sanitizer: Optional[StageSanitizer] = None,
@@ -653,7 +868,9 @@ class _StageLoop(threading.Thread):
         self.ingress = ingress
         self.raw_worker_queues = list(worker_queues)
         self.workers = list(workers)
-        self.upstream_producers = upstream_producers
+        #: ``{origin: producer count}`` — one entry per upstream edge (the
+        #: source and/or producer stages) feeding this stage's ingress.
+        self.upstream_producers: Dict[str, int] = dict(upstream_producers)
         self.abort = abort
         #: Stage 0 also watches the source: no stage loop owns it, so a
         #: source crash (unpicklable stream under spawn, OOM kill) would
@@ -704,9 +921,10 @@ class _StageLoop(threading.Thread):
         self.worker_factory = worker_factory
         self.queue_factory = queue_factory
         self._service_us = initial_service_us
-        #: The next stage's loop (set by TopologyRuntime); an elastic resize
-        #: of this stage updates the downstream producer accounting.
-        self.downstream: Optional["_StageLoop"] = None
+        #: The consuming stages' loops (set by TopologyRuntime); an elastic
+        #: resize of this stage updates every consumer's producer accounting
+        #: for this stage's edge.
+        self.downstreams: List["_StageLoop"] = []
         #: Every process this stage ever started (respawns and scale-outs
         #: included) — the shutdown join set.
         self.spawned_processes: List[Any] = list(workers)
@@ -727,14 +945,18 @@ class _StageLoop(threading.Thread):
         #: arrived yet (None = no round in progress).
         self._ckpt_awaiting: Optional[set] = None
         #: Dedup floors for post-recovery replay: last producer_seq accepted
-        #: per upstream producer, last UpstreamMark interval per producer.
-        self._last_seq: Dict[int, int] = {}
-        self._mark_floor: Dict[int, int] = {}
-        #: Upstream producer-count timeline: ``(from_interval, count)``
-        #: entries, appended by an *upstream* stage's elastic resize.
-        self._producer_lock = threading.Lock()
-        self._producer_counts: List[Tuple[int, int]] = [(0, upstream_producers)]
-        self._expected_done = upstream_producers
+        #: per (origin, producer) edge.  Mark floors and the per-origin
+        #: producer-count timelines live in the barrier.
+        self._last_seq: Dict[Tuple[str, int], int] = {}
+        self._barrier = MarkBarrier(self.upstream_producers)
+        #: Single-upstream back-compat: messages without an ``origin`` label
+        #: (linear chains, hand-built tests) resolve to the sole edge; with
+        #: several upstreams an unlabelled message is a protocol error.
+        self._sole_origin: Optional[str] = (
+            next(iter(self.upstream_producers))
+            if len(self.upstream_producers) == 1
+            else None
+        )
 
         # Filled by the loop, read by the coordinator after join().
         self.interval_rows: List[Dict[str, Any]] = []
@@ -823,14 +1045,24 @@ class _StageLoop(threading.Thread):
             self.error = exc
             self.abort.trip(self.spec.name, exc)
 
+    def _origin_of(self, message: Any) -> str:
+        """Resolve the upstream edge a stage-to-stage message arrived on."""
+        origin = message.origin
+        if origin:
+            return origin
+        if self._sole_origin is not None:
+            return self._sole_origin
+        raise TypeError(
+            f"stage {self.spec.name!r} has {len(self.upstream_producers)} "
+            f"upstreams but got an unlabelled ingress {message!r}"
+        )
+
     def _loop(self) -> None:
         config = self.config
-        marks: Dict[int, int] = {}
-        producers_done = 0
         self.router.begin_interval(0)
         self._interval_started = time.monotonic()
 
-        while producers_done < self._expected_done:
+        while not self._barrier.finished:
             message = self._next_ingress()
             if isinstance(message, EmittedBatch):
                 if (
@@ -842,13 +1074,18 @@ class _StageLoop(threading.Thread):
                 producer = message.producer_id
                 if producer >= 0 and message.producer_seq >= 0:
                     # Post-recovery replay dedup: a replayed batch carries
-                    # the same (producer, seq) as the original, so anything
-                    # at or below the accepted floor was already dispatched;
-                    # re-emissions of batches the dead process's queue
-                    # feeder lost arrive *above* the floor and pass.
-                    if message.producer_seq <= self._last_seq.get(producer, -1):
+                    # the same (origin, producer, seq) as the original, so
+                    # anything at or below the accepted floor was already
+                    # dispatched; re-emissions of batches the dead process's
+                    # queue feeder lost arrive *above* the floor and pass.
+                    edge = (self._origin_of(message), producer)
+                    if message.producer_seq <= self._last_seq.get(edge, -1):
                         continue
-                    self._last_seq[producer] = message.producer_seq
+                    self._last_seq[edge] = message.producer_seq
+                if self.sanitizer is not None:
+                    self.sanitizer.on_ingress_batch(
+                        self._origin_of(message), len(message.keys)
+                    )
                 self.router.dispatch(
                     message.keys,
                     message.values,
@@ -857,20 +1094,18 @@ class _StageLoop(threading.Thread):
                     origin_at=message.origin_at,
                 )
             elif isinstance(message, UpstreamMark):
-                producer = message.producer_id
-                floor = self._mark_floor.get(producer)
-                if floor is not None and message.interval <= floor:
-                    # Replayed interval markers re-emit marks the downstream
-                    # already counted; a non-advancing mark is a duplicate.
-                    continue
-                self._mark_floor[producer] = message.interval
-                arrived = marks.pop(message.interval, 0) + 1
-                if arrived < self._expected_marks(message.interval):
-                    marks[message.interval] = arrived
-                else:
+                origin = self._origin_of(message)
+                accepted, closable = self._barrier.observe_mark(
+                    origin, message.producer_id, message.interval
+                )
+                if accepted and self.sanitizer is not None:
+                    self.sanitizer.on_upstream_mark(
+                        origin, message.producer_id, message.interval
+                    )
+                if closable:
                     self._close_interval(message.interval)
             elif isinstance(message, UpstreamDone):
-                producers_done += 1
+                self._barrier.observe_done(self._origin_of(message))
             else:  # pragma: no cover - protocol violation
                 raise TypeError(
                     f"stage {self.spec.name!r} got unknown ingress {message!r}"
@@ -908,6 +1143,9 @@ class _StageLoop(threading.Thread):
             # The placement diff of a pending resize needs every key this
             # stage ever routed.
             self.seen_keys.update(account.freqs.keys())
+        # Split-key bookkeeping is per interval inside the partitioner and is
+        # reset by its on_interval_end — fold it into the lifetime totals now.
+        self.router.snapshot_split_stats()
         migration = self.controller.end_interval(
             self._interval_stats(interval, account.freqs)
         )
@@ -1053,30 +1291,22 @@ class _StageLoop(threading.Thread):
         finally:
             self._detaching = set()
 
-    def _expected_marks(self, interval: int) -> int:
-        """Upstream producer count in effect for ``interval``'s marks."""
-        with self._producer_lock:
-            expected = self._producer_counts[0][1]
-            for start, count in self._producer_counts:
-                if interval >= start:
-                    expected = count
-            return expected
-
     def set_upstream_producers(
-        self, from_interval: int, count: int, done_delta: int
+        self, origin: str, from_interval: int, count: int, done_delta: int
     ) -> None:
         """An upstream resize changed this stage's producer accounting.
 
         Called from the *upstream* stage's thread at its interval boundary —
         strictly before the resized group emits any mark for
         ``from_interval``, so the timeline append cannot race a close that
-        depends on it.  ``done_delta`` adjusts the expected end-of-stream
-        count (scale-out adds producers; scale-in's drained workers still
-        send their own ``UpstreamDone``, so shrink passes zero).
+        depends on it.  ``origin`` names the resized edge (other upstream
+        origins' barriers are untouched); ``done_delta`` adjusts the
+        expected end-of-stream count (scale-out adds producers; scale-in's
+        drained workers still send their own ``UpstreamDone``, so shrink
+        passes zero).
         """
-        with self._producer_lock:
-            self._producer_counts.append((int(from_interval), int(count)))
-            self._expected_done += int(done_delta)
+        self._barrier.resize(origin, from_interval, count, done_delta)
+        self.upstream_producers[origin] = int(count)
 
     def _calibrate(self) -> None:
         """Measure interval 0's unpaced processing and install the pacing.
@@ -1249,6 +1479,8 @@ class _StageLoop(threading.Thread):
             e2e_latency=e2e,
             calibrated_service_time_us=self.calibrated_us,
             resilience=resilience,
+            upstreams=len(self.upstream_producers),
+            split_stats=self.router.split_stats,
         )
 
 
@@ -1329,19 +1561,27 @@ class TopologyRuntime:
 
         stages = self.spec.stages
         kill, scale = self._directives()
-        source_queue = context.Queue(maxsize=max(2, config.queue_capacity))
-        ingresses = [source_queue]
-        # Bounded inter-stage egress queues: sized by the downstream
-        # consumer's appetite, they are the links through which backpressure
-        # (and chained starvation) propagates upstream.
-        for _ in range(len(stages) - 1):
-            ingresses.append(context.Queue(maxsize=max(2, config.queue_capacity)))
+        # One bounded ingress queue per stage: every upstream edge (source
+        # and/or producer stages) funnels into the consumer's shared queue,
+        # so backpressure — and chained starvation — propagates along every
+        # edge of the DAG: a full consumer queue blocks each of its
+        # producers' emit puts.
+        ingresses: Dict[str, Any] = {
+            stage.name: context.Queue(maxsize=max(2, config.queue_capacity))
+            for stage in stages
+        }
+        source_fed = [
+            stage.name
+            for stage in stages
+            if SOURCE_ORIGIN in self.spec.upstreams_of(stage.name)
+        ]
+        source_targets = [ingresses[name] for name in source_fed]
 
         source = context.Process(
             target=source_main,
             args=(
                 interval_lists,
-                source_queue,
+                source_targets,
                 config.batch_size,
                 config.offered_rate,
             ),
@@ -1354,12 +1594,14 @@ class TopologyRuntime:
         def queue_factory() -> Any:
             return context.Queue(maxsize=config.queue_capacity)
 
+        parallelism_of = {stage.name: stage.parallelism for stage in stages}
         all_workers: List[Any] = []
         loops: List[_StageLoop] = []
         for index, stage in enumerate(stages):
             worker_queues = [queue_factory() for _ in range(stage.parallelism)]
             out_queue = context.Queue()
-            egress = ingresses[index + 1] if index + 1 < len(ingresses) else None
+            consumers = self.spec.consumers_of(stage.name)
+            egresses = [ingresses[name] for name in consumers] or None
 
             def worker_factory(
                 worker_id: int,
@@ -1369,7 +1611,7 @@ class TopologyRuntime:
                 # the loop: respawns and scale-outs call it later).
                 _stage: StageSpec = stage,
                 _out_queue: Any = out_queue,
-                _egress: Any = egress,
+                _egresses: Any = egresses,
             ) -> Any:
                 return context.Process(
                     target=worker_main,
@@ -1379,8 +1621,10 @@ class TopologyRuntime:
                         queue,
                         _out_queue,
                         service_us,
-                        _egress,
+                        _egresses,
                         _stage.key_mapper,
+                        None,
+                        _stage.name,
                     ),
                     daemon=True,
                     name=f"repro-{_stage.name}-{worker_id}",
@@ -1399,21 +1643,31 @@ class TopologyRuntime:
                     RetentionLog(stage.parallelism),
                     checkpoint_every=config.checkpoint_every,
                 )
+            upstream_names = self.spec.upstreams_of(stage.name)
             loops.append(
                 _StageLoop(
                     stage,
                     config,
-                    ingresses[index],
+                    ingresses[stage.name],
                     worker_queues,
                     out_queue,
                     workers,
-                    upstream_producers=(
-                        1 if index == 0 else stages[index - 1].parallelism
-                    ),
+                    upstream_producers={
+                        name: (
+                            1 if name == SOURCE_ORIGIN else parallelism_of[name]
+                        )
+                        for name in upstream_names
+                    },
                     abort=abort,
-                    source_process=source if index == 0 else None,
+                    source_process=(
+                        source if SOURCE_ORIGIN in upstream_names else None
+                    ),
                     sanitizer=(
-                        StageSanitizer(stage.name, sanitizer_report)
+                        StageSanitizer(
+                            stage.name,
+                            sanitizer_report,
+                            origins=upstream_names,
+                        )
                         if sanitizer_report is not None
                         else None
                     ),
@@ -1429,10 +1683,14 @@ class TopologyRuntime:
                     ),
                 )
             )
-        # An elastic resize must update the *downstream* stage's producer
-        # accounting (mark barriers, end-of-stream counting).
-        for index, loop in enumerate(loops[:-1]):
-            loop.downstream = loops[index + 1]
+        # An elastic resize must update every *consuming* stage's producer
+        # accounting (mark barriers, end-of-stream counting) for this edge.
+        loops_by_name = {loop.spec.name: loop for loop in loops}
+        for loop in loops:
+            loop.downstreams = [
+                loops_by_name[name]
+                for name in self.spec.consumers_of(loop.spec.name)
+            ]
 
         wall_seconds = 0.0
         try:
@@ -1480,7 +1738,12 @@ class TopologyRuntime:
             label=self.label,
             stages=stage_results,
             wall_seconds=wall_seconds,
-            tuples_offered=stage_results[stages[0].name].tuples_offered,
+            # With a source fan-out each source-fed stage sees a disjoint
+            # share of the stream; the topology's offered count is their sum
+            # (identical to stage 0's count in a chain).
+            tuples_offered=sum(
+                stage_results[name].tuples_offered for name in source_fed
+            ),
             sanitizer=report_dict,
         )
 

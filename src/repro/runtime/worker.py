@@ -15,15 +15,20 @@ StreamTuple` and updates metrics once per batch (operators without a
 vectorised ``process_batch`` override fall back to scalar ``process`` calls
 transparently).
 
-**Emission.**  When the stage has a downstream stage, the worker forwards the
+**Emission.**  When the stage has downstream stages, the worker forwards the
 operator's emitted tuples — re-keyed by the stage's key mapper — onto the
-shared bounded *egress* queue as columnar
+consumers' shared bounded *egress* queues as columnar
 :class:`~repro.runtime.messages.EmittedBatch`
-messages, and propagates interval/end-of-stream markers so the downstream
-router can close intervals.  The bounded egress queue is what chains
-backpressure: a slow downstream stage blocks these puts, the worker stops
-consuming its inbound queue, and the stall propagates up to the source —
-exactly the chained-starvation effect of the paper's Fig. 16.
+messages, and propagates interval/end-of-stream markers so each downstream
+router can close intervals.  With several consumers (a DAG fan-out) data
+batches round-robin across the egress queues — so consecutive batches of a
+hot key land on *different* branches, the split-key premise of the paper's
+Fig. 2 — while every marker is replicated to every consumer (each one runs
+its own mark barrier per upstream edge).  The bounded egress queues are what
+chain backpressure: a slow downstream stage blocks these puts, the worker
+stops consuming its inbound queue, and the stall propagates up to the
+source — exactly the chained-starvation effect of the paper's Fig. 16, now
+along every edge of the DAG.
 
 **Service pacing.**  The paper's evaluation runs every task at the CPU
 saturation point, so the quantity of interest — throughput loss under skew —
@@ -81,8 +86,14 @@ def worker_main(
     egress: Any = None,
     key_mapper: Optional[KeyMapper] = None,
     should_abort: Optional[Callable[[], bool]] = None,
+    origin: str = "",
 ) -> None:
     """Entry point of one worker process (must stay module-level picklable).
+
+    ``egress`` is ``None`` (final stage), one queue (chain), or a list of
+    queues (DAG fan-out — one per consuming stage).  ``origin`` is the
+    stage's name, stamped onto every stage-to-stage message so a fan-in
+    consumer can attribute it to the right upstream edge.
 
     Every blocking queue operation is abort-aware: ``should_abort`` (default:
     "my parent process died") is re-checked between short waits, so a worker
@@ -99,6 +110,7 @@ def worker_main(
             egress,
             key_mapper,
             should_abort,
+            origin,
         )
     except QueueAborted:
         # The coordinator is gone; exiting *is* the clean teardown.
@@ -123,13 +135,21 @@ def _worker_loop(
     egress: Any,
     key_mapper: Optional[KeyMapper],
     should_abort: Optional[Callable[[], bool]] = None,
+    origin: str = "",
 ) -> None:
     task = Task(worker_id, logic)
     histogram = LatencyHistogram()
     e2e_histogram = LatencyHistogram()
     service_time_s = max(service_time_us, 0.0) / 1e6
+    # Normalise the egress wiring: no consumer, one consumer, or a fan-out.
+    if egress is None:
+        egresses = []
+    elif isinstance(egress, (list, tuple)):
+        egresses = list(egress)
+    else:
+        egresses = [egress]
     #: The final stage (no egress) measures end-to-end latency too.
-    final_stage = egress is None
+    final_stage = not egresses
 
     busy_seconds = 0.0
     # Monotone per-producer emission sequence, stamped onto every egress
@@ -196,11 +216,16 @@ def _worker_loop(
             bucket[2] += busy
             bucket[3] += latency_us * count
             bucket[4].record(latency_us, count)
-            if egress is not None and out_keys:
+            if egresses and out_keys:
                 if key_mapper is not None:
                     out_keys = [key_mapper(key) for key in out_keys]
+                # Round-robin by emission sequence: deterministic (so a
+                # post-recovery replay re-emits each batch onto the same
+                # edge, keeping per-edge sequences dense for the dedup) and
+                # branch-splitting (consecutive batches of a hot key fan
+                # across the consumers).
                 abortable_put(
-                    egress,
+                    egresses[emit_seq % len(egresses)],
                     EmittedBatch(
                         interval=interval,
                         origin_at=message.origin_at or message.sent_at,
@@ -208,6 +233,7 @@ def _worker_loop(
                         values=out_values,
                         producer_id=worker_id,
                         producer_seq=emit_seq,
+                        origin=origin,
                     ),
                     should_abort,
                 )
@@ -248,10 +274,16 @@ def _worker_loop(
                 ),
                 should_abort,
             )
-            if egress is not None:
+            # The interval mark is replicated to every consumer: each one
+            # closes the interval on its own per-edge mark barrier.
+            for shared in egresses:
                 abortable_put(
-                    egress,
-                    UpstreamMark(producer_id=worker_id, interval=message.interval),
+                    shared,
+                    UpstreamMark(
+                        producer_id=worker_id,
+                        interval=message.interval,
+                        origin=origin,
+                    ),
                     should_abort,
                 )
 
@@ -339,7 +371,7 @@ def _worker_loop(
             # their writer locks for the sibling producers, then die with no
             # cleanup: state, accounting and the rest of the inbound queue
             # are simply gone.
-            for shared in (egress, out_queue):
+            for shared in (*egresses, out_queue):
                 if shared is not None:
                     shared.close()
                     shared.join_thread()
@@ -351,9 +383,11 @@ def _worker_loop(
                 final_state = {
                     key: task.state.payloads(key) for key in task.state.keys()
                 }
-            if egress is not None:
+            for shared in egresses:
                 abortable_put(
-                    egress, UpstreamDone(producer_id=worker_id), should_abort
+                    shared,
+                    UpstreamDone(producer_id=worker_id, origin=origin),
+                    should_abort,
                 )
             tail = LatencyHistogram()
             for bucket in marks.values():
